@@ -1,0 +1,240 @@
+package repro_test
+
+// One benchmark per paper artifact: each regenerates a scaled-down
+// version of the corresponding figure/table workload and reports the
+// headline domain metric alongside the usual time/op. Run everything
+// with:
+//
+//	go test -bench=. -benchmem
+//
+// Paper-scale regeneration lives in cmd/experiments (-scale paper).
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/battery"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/experiment"
+	"repro/internal/mac"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+	"repro/internal/testbed"
+	"repro/internal/utility"
+)
+
+// benchOpts is the scaled workload shared by the figure benchmarks.
+func benchOpts() experiment.Options {
+	return experiment.Options{Seed: 3, Nodes: 15, Duration: 2 * simtime.Day, AgingFactor: 1500}
+}
+
+func parseCell(b *testing.B, s string) float64 {
+	b.Helper()
+	var v float64
+	if _, err := fmt.Sscan(s, &v); err != nil {
+		b.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func BenchmarkFig2Degradation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiment.Fig2(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("empty fig2")
+		}
+	}
+}
+
+func BenchmarkFig3Influence(b *testing.B) {
+	o := benchOpts()
+	o.Duration = 9 * simtime.Day
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Fig3(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// runSweepOnce is shared by the Fig. 4/5/6 benchmarks.
+func runSweepOnce(b *testing.B) []*experiment.Table {
+	b.Helper()
+	tables, err := experiment.ThetaSweep(benchOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tables
+}
+
+func BenchmarkFig4WindowSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := runSweepOnce(b)
+		if tables[0].ID != "fig4" || len(tables[0].Rows) == 0 {
+			b.Fatal("missing fig4 rows")
+		}
+	}
+}
+
+func BenchmarkFig5Energy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := runSweepOnce(b)
+		if tables[1].ID != "fig5" || len(tables[1].Rows) == 0 {
+			b.Fatal("missing fig5 rows")
+		}
+	}
+}
+
+func BenchmarkFig6Network(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := runSweepOnce(b)
+		if tables[2].ID != "fig6" || len(tables[2].Rows) == 0 {
+			b.Fatal("missing fig6 rows")
+		}
+	}
+}
+
+// lifespanOpts ages gently enough that run-to-EoL spans several months
+// of simulated time (Fig. 7 needs monthly samples).
+func lifespanOpts() experiment.Options {
+	return experiment.Options{Seed: 3, Nodes: 15, AgingFactor: 40}
+}
+
+func BenchmarkFig7MaxDegradation(b *testing.B) {
+	var lifespanDays float64
+	for i := 0; i < b.N; i++ {
+		tables, err := experiment.Lifespan(lifespanOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tables[0].ID != "fig7" || len(tables[0].Rows) == 0 {
+			b.Fatal("missing fig7 rows")
+		}
+		lifespanDays = parseCell(b, tables[1].Rows[0][1])
+	}
+	b.ReportMetric(lifespanDays, "lorawan-lifespan-days")
+}
+
+func BenchmarkFig8Lifespan(b *testing.B) {
+	var improvement float64
+	for i := 0; i < b.N; i++ {
+		tables, err := experiment.Lifespan(lifespanOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig8 := tables[1]
+		base := parseCell(b, fig8.Rows[0][1])
+		h50 := parseCell(b, fig8.Rows[1][1])
+		improvement = 100 * (h50/base - 1)
+	}
+	b.ReportMetric(improvement, "h50-improvement-%")
+}
+
+func BenchmarkFig9Testbed(b *testing.B) {
+	o := experiment.Options{Seed: 3, Duration: 3 * simtime.Hour}
+	cfg := experiment.TestbedScenario(o, config.ProtocolBLA, 1)
+	var prr metrics.Welford
+	for i := 0; i < b.N; i++ {
+		res, err := testbed.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, n := range res.Nodes {
+			prr.Add(n.Stats.PRR())
+		}
+	}
+	b.ReportMetric(prr.Mean(), "prr")
+}
+
+func BenchmarkTableIOverhead(b *testing.B) {
+	// The Table I artifact itself is the decision-path cost: benchmark
+	// the full BLA decision (forecast + estimates + Algorithm 1).
+	bla, err := mac.NewBLA(mac.BLAConfig{
+		Theta:           0.5,
+		WeightB:         1,
+		Beta:            0.3,
+		Forecaster:      energy.NewDiurnalEWMA(0.3),
+		Window:          simtime.Minute,
+		MaxWindows:      60,
+		SingleTxEnergyJ: 0.035,
+		MaxAttempts:     8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bla.OnDegradationUpdate(0.7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := bla.DecideTx(simtime.Time(i)*simtime.Time(simtime.Minute), 40, 1); d.Drop {
+			b.Fatal("unexpected drop")
+		}
+	}
+}
+
+// --- microbenchmarks of the hot paths ---
+
+func BenchmarkAlgorithm1Select(b *testing.B) {
+	sel, err := core.NewSelector(utility.Linear{}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := core.Inputs{
+		StoredEnergy:          1,
+		NormalizedDegradation: 0.7,
+		ForecastGen:           make([]float64, 60),
+		EstTxEnergy:           make([]float64, 60),
+		MaxTxEnergy:           0.28,
+	}
+	for i := range in.ForecastGen {
+		in.ForecastGen[i] = float64(i%7) * 0.01
+		in.EstTxEnergy[i] = 0.035
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sel.Select(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRainflowIncremental(b *testing.B) {
+	var c battery.Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Push(float64(i%17) / 16)
+	}
+}
+
+func BenchmarkSolarEnergyQuery(b *testing.B) {
+	trace, err := energy.NewYearTrace(energy.DefaultSolarConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := trace.NodeSource(3, 1.5, 0.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := simtime.Time(i%500000) * simtime.Time(simtime.Minute)
+		_ = src.Energy(from, from.Add(40*simtime.Minute))
+	}
+}
+
+func BenchmarkSimulatorDay(b *testing.B) {
+	cfg := config.Default().WithSeed(9)
+	cfg.Nodes = 50
+	cfg.Duration = simtime.Day
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := sim.New(cfg, sim.Hooks{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

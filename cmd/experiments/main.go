@@ -1,0 +1,134 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run sweep -nodes 200 -duration 4380h
+//	experiments -run all -scale quick
+//	experiments -run lifespan -scale paper        # full multi-year runs
+//	experiments -run sweep -csv out/              # also write CSV files
+//
+// Scales:
+//
+//	quick: minutes of wall time; shapes hold, magnitudes are scaled.
+//	full:  the paper's workloads (hours of wall time for the sweep).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/simtime"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		runNames = flag.String("run", "all", "comma-separated experiment names, or 'all'")
+		scale    = flag.String("scale", "quick", "workload scale: 'quick' or 'paper'")
+		seed     = flag.Uint64("seed", 1, "scenario seed")
+		nodes    = flag.Int("nodes", 0, "override network size (0 = scale default)")
+		duration = flag.Duration("duration", 0, "override simulated duration (0 = scale default)")
+		aging    = flag.Float64("aging", 0, "override aging acceleration factor (0 = scale default)")
+		csvDir   = flag.String("csv", "", "directory to also write per-table CSV files")
+		verbose  = flag.Bool("v", false, "log per-run progress")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, e := range experiment.Registry() {
+			fmt.Printf("  %-16s %-45s paper scale: %s\n", e.Name, e.Artifacts, e.PaperScale)
+		}
+		return nil
+	}
+
+	opts := experiment.Options{Seed: *seed}
+	switch *scale {
+	case "paper":
+		// Paper-scale defaults are baked into each runner.
+	case "quick":
+		opts.Nodes = 100
+		opts.Duration = simtime.FromDuration(90 * 24 * time.Hour)
+		opts.AgingFactor = 40
+	default:
+		return fmt.Errorf("unknown scale %q (want quick or paper)", *scale)
+	}
+	if *nodes > 0 {
+		opts.Nodes = *nodes
+	}
+	if *duration > 0 {
+		opts.Duration = simtime.FromDuration(*duration)
+	}
+	if *aging > 0 {
+		opts.AgingFactor = *aging
+	}
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+
+	var entries []experiment.Entry
+	if *runNames == "all" {
+		entries = experiment.Registry()
+	} else {
+		for _, name := range strings.Split(*runNames, ",") {
+			e, ok := experiment.Find(strings.TrimSpace(name))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", name)
+			}
+			entries = append(entries, e)
+		}
+	}
+
+	for _, e := range entries {
+		started := time.Now()
+		tables, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+		for _, t := range tables {
+			if opts.Nodes > 0 || opts.Duration > 0 || opts.AgingFactor > 1 {
+				t.AddNote("scaled run (scale=%s); use -scale paper for the full workload: %s", *scale, e.PaperScale)
+			}
+			if err := t.Fprint(os.Stdout); err != nil {
+				return err
+			}
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, t); err != nil {
+					return err
+				}
+			}
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "%s finished in %v\n", e.Name, time.Since(started).Round(time.Millisecond))
+		}
+	}
+	return nil
+}
+
+func writeCSV(dir string, t *experiment.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.CSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,67 @@
+// Command solartrace inspects the synthetic solar substrate: it prints
+// daily energy statistics and an hourly profile for a chosen day, which
+// is useful when calibrating panel sizes and charge thresholds.
+//
+// Examples:
+//
+//	solartrace -seed 1 -days 14
+//	solartrace -profile 172          # hourly profile of midsummer day
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/energy"
+	"repro/internal/simtime"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "solartrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed      = flag.Uint64("seed", 1, "trace seed")
+		days      = flag.Int("days", 14, "number of days to summarize")
+		firstDay  = flag.Int("start", 0, "first day of the summary")
+		profile   = flag.Int("profile", -1, "print the hourly profile of this day and exit")
+		peakW     = flag.Float64("peak", 1, "panel peak power in watts")
+		variation = flag.Float64("variation", 0, "per-node cloud variation (0..1)")
+		nodeID    = flag.Int("node", 0, "node identity for local variation")
+	)
+	flag.Parse()
+
+	trace, err := energy.NewYearTrace(energy.DefaultSolarConfig(*seed))
+	if err != nil {
+		return err
+	}
+	src := trace.NodeSource(*nodeID, *peakW, *variation)
+
+	if *profile >= 0 {
+		fmt.Printf("hourly harvest profile, day %d (%.2f W peak panel)\n", *profile, *peakW)
+		for h := 0; h < 24; h++ {
+			from := simtime.Time(*profile)*simtime.Time(simtime.Day) + simtime.Time(h)*simtime.Time(simtime.Hour)
+			e := src.Energy(from, from.Add(simtime.Hour))
+			bar := strings.Repeat("#", int(e/(*peakW*3600)*60))
+			fmt.Printf("%02d:00  %8.1f J  %s\n", h, e, bar)
+		}
+		return nil
+	}
+
+	fmt.Printf("daily harvest, days %d..%d (%.2f W peak panel)\n", *firstDay, *firstDay+*days-1, *peakW)
+	var total float64
+	for d := *firstDay; d < *firstDay+*days; d++ {
+		from := simtime.Time(d) * simtime.Time(simtime.Day)
+		e := src.Energy(from, from.Add(simtime.Day))
+		total += e
+		fmt.Printf("day %3d  %8.1f J  (%.2f equivalent full-sun hours)\n", d, e, e/(*peakW*3600))
+	}
+	fmt.Printf("total %.1f J, mean %.1f J/day\n", total, total/float64(*days))
+	return nil
+}

@@ -1,0 +1,46 @@
+// Optimalgap: how close does the distributed on-sensor heuristic
+// (Algorithm 1) get to the paper's centralized clairvoyant formulation
+// (Sec. III-A)? This example builds a small TDMA instance, solves it
+// exhaustively, and compares the greedy clairvoyant scheduler and the
+// collision-blind on-sensor pass against the optimum.
+//
+//	go run ./examples/optimalgap
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiment"
+	"repro/internal/optimal"
+)
+
+func main() {
+	p := experiment.GapProblem()
+	fmt.Printf("instance: %d nodes, %d slots, omega=%d (one reception per slot)\n",
+		len(p.Nodes), p.Slots, p.Omega)
+	fmt.Println("generation is phase-shifted per node, so greedily chasing green")
+	fmt.Println("energy without coordination collides.")
+	fmt.Println()
+
+	table, err := experiment.OptimalGap(experiment.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := table.Fprint(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Show the optimal schedule itself.
+	schedule, eval, err := optimal.SolveExhaustive(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exhaustive optimum (objective %.4g):\n", eval.Objective)
+	for i, slots := range schedule.TxSlot {
+		fmt.Printf("  node %d transmits in slots %v\n", i, slots)
+	}
+	fmt.Println("\nthe heuristic trades a little utility for battery impact without any")
+	fmt.Println("global knowledge — the trade the paper argues for in Sec. III-B.")
+}

@@ -1,0 +1,195 @@
+package battery
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// Transition is one charge<->discharge direction change of a battery: the
+// compressed SoC-trace sample that a node piggy-backs on its next data
+// packet (Sec. III-B, "Overhead of sharing battery trace").
+type Transition struct {
+	// At is when the direction changed.
+	At simtime.Time
+	// SoC is the state of charge at the transition, as a fraction of the
+	// original capacity.
+	SoC float64
+}
+
+// Battery is the software-defined rechargeable battery of one node: it
+// tracks stored energy, enforces the protocol's charge limit theta,
+// accumulates its own ground-truth SoC history for degradation
+// accounting, and records the direction-change transitions that the node
+// reports to the gateway.
+//
+// Battery is not safe for concurrent use; in the simulator each battery
+// belongs to exactly one node.
+type Battery struct {
+	model    Model
+	tempC    float64
+	original float64 // original maximum capacity, joules
+	stored   float64 // current stored energy, joules
+	tracker  *Tracker
+
+	fade    float64 // cached capacity-fade fraction in [0,1)
+	fadeAge simtime.Duration
+
+	chargeLimit float64 // theta: max stored energy as fraction of current max capacity
+
+	lastDir     int // +1 charging, -1 discharging
+	transitions []Transition
+}
+
+// New returns a battery with the given original capacity in joules and
+// initial state of charge (fraction of original capacity), at a fixed
+// internal temperature in Celsius.
+func New(model Model, capacityJ, initialSoC, tempC float64) (*Battery, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if capacityJ <= 0 {
+		return nil, fmt.Errorf("battery: capacity %v J must be positive", capacityJ)
+	}
+	if initialSoC < 0 || initialSoC > 1 {
+		return nil, fmt.Errorf("battery: initial SoC %v outside [0,1]", initialSoC)
+	}
+	b := &Battery{
+		model:       model,
+		tempC:       tempC,
+		original:    capacityJ,
+		stored:      initialSoC * capacityJ,
+		tracker:     NewTracker(model, tempC),
+		chargeLimit: 1,
+	}
+	b.tracker.Push(b.soc())
+	return b, nil
+}
+
+// SetChargeLimit sets theta: the maximum energy the battery is allowed to
+// store, as a fraction of its current maximum capacity. The paper's H-50
+// uses 0.5; plain LoRaWAN uses 1. Values are clamped to [0,1]. Any excess
+// already stored is not shed; it simply stops accepting charge.
+func (b *Battery) SetChargeLimit(theta float64) {
+	b.chargeLimit = min(1, max(0, theta))
+}
+
+// ChargeLimit returns the configured theta.
+func (b *Battery) ChargeLimit() float64 { return b.chargeLimit }
+
+// OriginalCapacity returns the as-new capacity in joules.
+func (b *Battery) OriginalCapacity() float64 { return b.original }
+
+// CurrentMaxCapacity returns the degraded capacity in joules at the given
+// instant.
+func (b *Battery) CurrentMaxCapacity(now simtime.Time) float64 {
+	b.refresh(now)
+	return b.original * (1 - b.fade)
+}
+
+// Stored returns the energy currently stored, in joules.
+func (b *Battery) Stored() float64 { return b.stored }
+
+// SoC returns the state of charge as a fraction of the ORIGINAL capacity,
+// the paper's Sec. II-C definition (used by the degradation model).
+func (b *Battery) SoC() float64 { return b.soc() }
+
+func (b *Battery) soc() float64 { return b.stored / b.original }
+
+// Headroom returns how much more energy the battery would accept right
+// now, given theta and the degraded capacity.
+func (b *Battery) Headroom(now simtime.Time) float64 {
+	limit := b.chargeLimit * b.CurrentMaxCapacity(now)
+	return max(0, limit-b.stored)
+}
+
+// Charge stores up to the given energy, returning the amount actually
+// accepted after applying the theta limit and the degraded capacity.
+func (b *Battery) Charge(now simtime.Time, joules float64) float64 {
+	if joules <= 0 {
+		return 0
+	}
+	accepted := min(joules, b.Headroom(now))
+	if accepted <= 0 {
+		return 0
+	}
+	b.stored += accepted
+	b.record(now, +1)
+	return accepted
+}
+
+// Discharge draws up to the given energy, returning the amount actually
+// supplied (less than requested if the battery runs empty).
+func (b *Battery) Discharge(now simtime.Time, joules float64) float64 {
+	if joules <= 0 {
+		return 0
+	}
+	supplied := min(joules, b.stored)
+	if supplied <= 0 {
+		return 0
+	}
+	b.stored -= supplied
+	b.record(now, -1)
+	return supplied
+}
+
+// CanSupply reports whether the battery currently stores at least the
+// given energy.
+func (b *Battery) CanSupply(joules float64) bool { return b.stored >= joules }
+
+// record pushes the post-operation SoC into the ground-truth tracker and
+// logs a reportable transition when the charge/discharge direction flips.
+func (b *Battery) record(now simtime.Time, dir int) {
+	soc := b.soc()
+	b.tracker.Push(soc)
+	if b.lastDir != 0 && dir != b.lastDir {
+		b.transitions = append(b.transitions, Transition{At: now, SoC: soc})
+	}
+	b.lastDir = dir
+}
+
+// DrainTransitions returns the direction-change transitions recorded
+// since the previous call and clears the pending list. The node appends
+// these to its next uplink packet.
+func (b *Battery) DrainTransitions() []Transition {
+	t := b.transitions
+	b.transitions = nil
+	return t
+}
+
+// PendingTransitions returns how many transitions await reporting.
+func (b *Battery) PendingTransitions() int { return len(b.transitions) }
+
+// refresh recomputes the cached capacity fade if the battery aged since
+// the last computation, clamping stored energy to the shrunken capacity.
+func (b *Battery) refresh(now simtime.Time) {
+	age := simtime.Duration(now)
+	if age <= b.fadeAge {
+		return
+	}
+	b.fade = b.tracker.Degradation(age)
+	b.fadeAge = age
+	if maxCap := b.original * (1 - b.fade); b.stored > maxCap {
+		b.stored = maxCap
+	}
+}
+
+// Degradation returns the ground-truth capacity fade at the given instant.
+func (b *Battery) Degradation(now simtime.Time) float64 {
+	b.refresh(now)
+	return b.fade
+}
+
+// Damage returns the full ground-truth degradation breakdown.
+func (b *Battery) Damage(now simtime.Time) Breakdown {
+	return b.tracker.Damage(simtime.Duration(now))
+}
+
+// AtEoL reports whether the battery reached its end of life (capacity
+// fade at or beyond the model's threshold).
+func (b *Battery) AtEoL(now simtime.Time) bool {
+	return b.Degradation(now) >= b.model.EoLThreshold
+}
+
+// Model returns the degradation model of this battery.
+func (b *Battery) Model() Model { return b.model }

@@ -1,0 +1,234 @@
+package battery
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func TestDefaultModelValid(t *testing.T) {
+	if err := DefaultModel().Validate(); err != nil {
+		t.Fatalf("DefaultModel invalid: %v", err)
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Model)
+	}{
+		{"zero K1", func(m *Model) { m.K1 = 0 }},
+		{"K3 out of range", func(m *Model) { m.K3 = 1.5 }},
+		{"negative K6", func(m *Model) { m.K6 = -1 }},
+		{"alpha 0", func(m *Model) { m.AlphaSEI = 0 }},
+		{"alpha 1", func(m *Model) { m.AlphaSEI = 1 }},
+		{"kSEI 1", func(m *Model) { m.KSEI = 1 }},
+		{"eol 0", func(m *Model) { m.EoLThreshold = 0 }},
+		{"eol 1", func(m *Model) { m.EoLThreshold = 1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := DefaultModel()
+			tt.mutate(&m)
+			if err := m.Validate(); err == nil {
+				t.Error("Validate() should fail")
+			}
+		})
+	}
+}
+
+func TestTempStress(t *testing.T) {
+	m := DefaultModel()
+	if got := m.TempStress(m.K5); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("TempStress at reference temp = %v, want 1", got)
+	}
+	if m.TempStress(40) <= 1 {
+		t.Error("TempStress above reference should exceed 1")
+	}
+	if m.TempStress(0) >= 1 {
+		t.Error("TempStress below reference should be under 1")
+	}
+}
+
+func TestTempStressMonotone(t *testing.T) {
+	m := DefaultModel()
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		// Restrict to physical temperatures.
+		a = math.Mod(math.Abs(a), 80) - 20
+		b = math.Mod(math.Abs(b), 80) - 20
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return m.TempStress(lo) <= m.TempStress(hi)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCalendarAging(t *testing.T) {
+	m := DefaultModel()
+	if got := m.CalendarAging(0, 25, 0.5); got != 0 {
+		t.Errorf("CalendarAging(0) = %v, want 0", got)
+	}
+	if got := m.CalendarAging(-simtime.Day, 25, 0.5); got != 0 {
+		t.Errorf("CalendarAging(negative) = %v, want 0", got)
+	}
+	// Linear in elapsed time.
+	year := m.CalendarAging(simtime.Year, 25, 0.5)
+	twoYears := m.CalendarAging(2*simtime.Year, 25, 0.5)
+	if !almostEqual(twoYears, 2*year, 1e-12) {
+		t.Errorf("calendar aging not linear in time: %v vs 2*%v", twoYears, year)
+	}
+	// At reference SoC and temperature the aging equals K1 * t.
+	want := m.K1 * simtime.Year.Seconds()
+	if !almostEqual(year, want, 1e-15) {
+		t.Errorf("calendar aging at reference = %v, want %v", year, want)
+	}
+	// Increasing in mean SoC: this is the mechanism behind theta capping.
+	if m.CalendarAging(simtime.Year, 25, 0.9) <= m.CalendarAging(simtime.Year, 25, 0.5) {
+		t.Error("calendar aging must increase with mean SoC")
+	}
+}
+
+func TestCycleAging(t *testing.T) {
+	m := DefaultModel()
+	if got := m.CycleAging(nil, 25); got != 0 {
+		t.Errorf("CycleAging(nil) = %v, want 0", got)
+	}
+	cycles := []Cycle{
+		{Range: 0.5, Mean: 0.5, Count: 1},
+		{Range: 0.2, Mean: 0.8, Count: 0.5},
+	}
+	want := (1*0.5*0.5 + 0.5*0.2*0.8) * m.K6 // temp stress 1 at 25 C
+	if got := m.CycleAging(cycles, 25); !almostEqual(got, want, 1e-15) {
+		t.Errorf("CycleAging = %v, want %v", got, want)
+	}
+}
+
+func TestNonlinear(t *testing.T) {
+	m := DefaultModel()
+	if got := m.Nonlinear(0); got != 0 {
+		t.Errorf("Nonlinear(0) = %v, want 0", got)
+	}
+	if got := m.Nonlinear(-1); got != 0 {
+		t.Errorf("Nonlinear(-1) = %v, want 0", got)
+	}
+	// SEI film: small linear damage maps to a fast early fade.
+	if got := m.Nonlinear(0.05); got <= 0.05 {
+		t.Errorf("Nonlinear(0.05) = %v, should exceed linear due to SEI", got)
+	}
+	// Asymptote at 1 (within float64 rounding).
+	if got := m.Nonlinear(100); got > 1 || got < 0.99 {
+		t.Errorf("Nonlinear(100) = %v, want ~1", got)
+	}
+}
+
+func TestNonlinearMonotone(t *testing.T) {
+	m := DefaultModel()
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		a = math.Mod(math.Abs(a), 2)
+		b = math.Mod(math.Abs(b), 2)
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return m.Nonlinear(lo) <= m.Nonlinear(hi)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvertNonlinearRoundTrip(t *testing.T) {
+	m := DefaultModel()
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) {
+			return true
+		}
+		d := math.Mod(math.Abs(raw), 0.95)
+		linear, err := m.InvertNonlinear(d)
+		if err != nil {
+			return false
+		}
+		return almostEqual(m.Nonlinear(linear), d, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvertNonlinearErrors(t *testing.T) {
+	m := DefaultModel()
+	if _, err := m.InvertNonlinear(-0.1); err == nil {
+		t.Error("InvertNonlinear(-0.1) should fail")
+	}
+	if _, err := m.InvertNonlinear(1); err == nil {
+		t.Error("InvertNonlinear(1) should fail")
+	}
+	if got, err := m.InvertNonlinear(0); err != nil || got != 0 {
+		t.Errorf("InvertNonlinear(0) = %v, %v", got, err)
+	}
+}
+
+// TestPaperHeadlineLifespans anchors the model to the paper's Fig. 8:
+// a LoRaWAN node keeping its battery near full (mean cycle SoC ~0.91)
+// reaches 20% fade after ~2980 days; an H-50 node (mean SoC ~0.45)
+// lasts ~13-14 years.
+func TestPaperHeadlineLifespans(t *testing.T) {
+	m := DefaultModel()
+
+	lorawan, err := m.PredictCalendarLifespan(25, 0.91)
+	if err != nil {
+		t.Fatalf("PredictCalendarLifespan: %v", err)
+	}
+	if days := lorawan.Days(); days < 2800 || days > 3200 {
+		t.Errorf("LoRaWAN-like calendar lifespan = %.0f days, want ~2980", days)
+	}
+
+	h50, err := m.PredictCalendarLifespan(25, 0.45)
+	if err != nil {
+		t.Fatalf("PredictCalendarLifespan: %v", err)
+	}
+	if years := h50.Days() / 365; years < 12 || years > 15.5 {
+		t.Errorf("H-50-like calendar lifespan = %.1f years, want ~13-14", years)
+	}
+
+	if improvement := h50.Days()/lorawan.Days() - 1; improvement < 0.5 {
+		t.Errorf("H-50 lifespan improvement = %.1f%%, want >50%%", improvement*100)
+	}
+}
+
+func TestPredictCalendarLifespanTemperature(t *testing.T) {
+	m := DefaultModel()
+	cool, err := m.PredictCalendarLifespan(15, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := m.PredictCalendarLifespan(45, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot >= cool {
+		t.Errorf("hotter battery should die sooner: %v vs %v", hot, cool)
+	}
+}
+
+func TestDegradationCombines(t *testing.T) {
+	m := DefaultModel()
+	cycles := []Cycle{{Range: 0.3, Mean: 0.5, Count: 1}}
+	dNoCycles := m.Degradation(simtime.Year, nil, 25, 0.5)
+	dCycles := m.Degradation(simtime.Year, cycles, 25, 0.5)
+	if dCycles <= dNoCycles {
+		t.Errorf("cycle aging should add damage: %v vs %v", dCycles, dNoCycles)
+	}
+	wantLinear := m.CalendarAging(simtime.Year, 25, 0.5) + m.CycleAging(cycles, 25)
+	if !almostEqual(dCycles, m.Nonlinear(wantLinear), 1e-12) {
+		t.Error("Degradation should equal Nonlinear(calendar+cycle)")
+	}
+}
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

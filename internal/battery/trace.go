@@ -1,0 +1,77 @@
+package battery
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/simtime"
+)
+
+// Report is the wire form of one SoC transition as piggy-backed on an
+// uplink packet: 4 bytes (2 for the forecast-window offset, 2 for the
+// quantized SoC), exactly the overhead the paper budgets in Sec. III-B.
+type Report struct {
+	// WindowsAgo is how many whole forecast windows before the packet's
+	// transmission the transition occurred.
+	WindowsAgo uint16
+	// SoCQ is the state of charge quantized to 1/65535 steps.
+	SoCQ uint16
+}
+
+// ReportSize is the wire size of one Report in bytes.
+const ReportSize = 4
+
+// EncodeTransition converts a transition to wire form relative to the
+// packet transmission time and the node's forecast-window length.
+// Transitions older than 65535 windows saturate.
+func EncodeTransition(tr Transition, packetAt simtime.Time, window simtime.Duration) Report {
+	ago := int64(0)
+	if tr.At.Before(packetAt) {
+		ago = int64(packetAt.Sub(tr.At) / window)
+	}
+	if ago > math.MaxUint16 {
+		ago = math.MaxUint16
+	}
+	soc := min(1, max(0, tr.SoC))
+	return Report{
+		WindowsAgo: uint16(ago),
+		SoCQ:       uint16(math.Round(soc * math.MaxUint16)),
+	}
+}
+
+// Decode reconstructs the transition from wire form given the packet's
+// reception time and the node's forecast-window length. The recovered
+// time is quantized to whole windows and the SoC to 1/65535, which is the
+// precision the gateway-side degradation computation works with.
+func (r Report) Decode(packetAt simtime.Time, window simtime.Duration) Transition {
+	return Transition{
+		At:  packetAt.Add(-simtime.Duration(r.WindowsAgo) * window),
+		SoC: float64(r.SoCQ) / math.MaxUint16,
+	}
+}
+
+// MarshalReports serializes reports to the compact on-air byte form.
+func MarshalReports(reports []Report) []byte {
+	buf := make([]byte, 0, len(reports)*ReportSize)
+	for _, r := range reports {
+		buf = binary.BigEndian.AppendUint16(buf, r.WindowsAgo)
+		buf = binary.BigEndian.AppendUint16(buf, r.SoCQ)
+	}
+	return buf
+}
+
+// UnmarshalReports parses the compact on-air byte form.
+func UnmarshalReports(data []byte) ([]Report, error) {
+	if len(data)%ReportSize != 0 {
+		return nil, fmt.Errorf("battery: report payload length %d not a multiple of %d", len(data), ReportSize)
+	}
+	reports := make([]Report, 0, len(data)/ReportSize)
+	for i := 0; i < len(data); i += ReportSize {
+		reports = append(reports, Report{
+			WindowsAgo: binary.BigEndian.Uint16(data[i:]),
+			SoCQ:       binary.BigEndian.Uint16(data[i+2:]),
+		})
+	}
+	return reports, nil
+}

@@ -1,0 +1,92 @@
+package battery
+
+import "repro/internal/simtime"
+
+// Tracker accumulates a battery's state-of-charge history and answers
+// degradation queries (Eq. 1-4) incrementally. It is used in two places:
+// inside Battery for ground-truth accounting on the node, and inside the
+// network server, which reconstructs each node's SoC trace from the
+// turning points piggy-backed on data packets.
+type Tracker struct {
+	model   Model
+	tempC   float64
+	counter Counter
+
+	// Permanently retired cycle aggregates.
+	closedRaw    float64 // sum of eta*delta*phi over retired cycles
+	closedPhiSum float64 // sum of eta*phi over retired cycles
+	closedWeight float64 // sum of eta over retired cycles
+}
+
+// NewTracker returns a tracker using the given degradation model and a
+// fixed average internal battery temperature in Celsius (the paper
+// considers insulated batteries at 25 C).
+func NewTracker(model Model, tempC float64) *Tracker {
+	t := &Tracker{model: model, tempC: tempC}
+	t.counter.OnCycle = t.onCycle
+	return t
+}
+
+func (t *Tracker) onCycle(c Cycle) {
+	t.closedRaw += c.Count * c.Range * c.Mean
+	t.closedPhiSum += c.Count * c.Mean
+	t.closedWeight += c.Count
+}
+
+// Push records the next SoC sample (fraction of original capacity).
+func (t *Tracker) Push(soc float64) { t.counter.Push(soc) }
+
+// Samples returns the number of SoC samples recorded.
+func (t *Tracker) Samples() int { return t.counter.Samples() }
+
+// Breakdown decomposes degradation into its components, as plotted in
+// the paper's Fig. 2.
+type Breakdown struct {
+	// Calendar is D_cal of Eq. (1).
+	Calendar float64
+	// Cycle is D_cyc of Eq. (2).
+	Cycle float64
+	// Linear is D_L of Eq. (3) (= Calendar + Cycle).
+	Linear float64
+	// Total is the observed capacity fade D of Eq. (4).
+	Total float64
+	// MeanSoC is the average SoC across all counted cycles.
+	MeanSoC float64
+	// Cycles is the eta-weighted number of counted cycles.
+	Cycles float64
+}
+
+// Damage returns the degradation breakdown after the given battery age.
+func (t *Tracker) Damage(age simtime.Duration) Breakdown {
+	raw := t.closedRaw
+	phiSum := t.closedPhiSum
+	weight := t.closedWeight
+	for _, c := range t.counter.PendingCycles() {
+		raw += c.Count * c.Range * c.Mean
+		phiSum += c.Count * c.Mean
+		weight += c.Count
+	}
+	meanPhi := t.counter.last // no cycles yet: resting SoC dominates
+	if weight > 0 {
+		meanPhi = phiSum / weight
+	}
+	var b Breakdown
+	b.MeanSoC = meanPhi
+	b.Cycles = weight
+	b.Calendar = t.model.CalendarAging(age, t.tempC, meanPhi)
+	b.Cycle = raw * t.model.K6 * t.model.TempStress(t.tempC)
+	b.Linear = b.Calendar + b.Cycle
+	b.Total = t.model.Nonlinear(b.Linear)
+	return b
+}
+
+// Degradation returns the observed capacity fade after the given age.
+func (t *Tracker) Degradation(age simtime.Duration) float64 {
+	return t.Damage(age).Total
+}
+
+// Model returns the degradation model the tracker was built with.
+func (t *Tracker) Model() Model { return t.model }
+
+// Temperature returns the fixed average battery temperature in Celsius.
+func (t *Tracker) Temperature() float64 { return t.tempC }

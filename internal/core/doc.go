@@ -1,0 +1,17 @@
+// Package core implements the paper's primary contribution: the
+// on-sensor battery lifespan-aware forecast-window selection of
+// Sec. III-B. It contains the pure protocol logic, independent of any
+// simulation substrate:
+//
+//   - TxEnergyEstimator: the EWMA transmission-energy estimate (Eq. 13);
+//   - RetxHistory: the per-window retransmission probability history
+//     (Eq. 14) used to steer nodes away from crowded forecast windows;
+//   - DIF: the Degradation Impact Factor (Eq. 15);
+//   - Selector: the forecast-window selection (Algorithm 1), minimizing
+//     (1 - utility) + w_u * DIF * w_b subject to energy feasibility
+//     (Eq. 17-21).
+//
+// Both the discrete-event simulator (internal/sim) and the concurrent
+// testbed runtime (internal/testbed) drive this same code, so protocol
+// behaviour cannot diverge between the two evaluation substrates.
+package core

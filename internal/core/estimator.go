@@ -1,0 +1,160 @@
+package core
+
+import "fmt"
+
+// TxEnergyEstimator is the exponentially weighted moving average of
+// per-packet transmission energy, Eq. (13):
+//
+//	e[p] = beta * E[p-1] + (1 - beta) * e[p-1]
+//
+// where E[p-1] is the energy actually spent on the previous packet
+// (including retransmissions) and beta weights recent observations.
+type TxEnergyEstimator struct {
+	beta     float64
+	estimate float64
+	seen     bool
+}
+
+// NewTxEnergyEstimator returns an estimator with the given recency
+// weight (clamped into (0,1]) and an initial estimate, typically the
+// single-attempt transmission energy of the node's radio settings.
+func NewTxEnergyEstimator(beta, initial float64) *TxEnergyEstimator {
+	return &TxEnergyEstimator{
+		beta:     min(1, max(1e-3, beta)),
+		estimate: max(0, initial),
+	}
+}
+
+// Observe folds the actual energy consumption of the last packet into
+// the estimate.
+func (e *TxEnergyEstimator) Observe(actualJ float64) {
+	if actualJ < 0 {
+		return
+	}
+	if !e.seen && e.estimate == 0 {
+		e.estimate = actualJ
+		e.seen = true
+		return
+	}
+	e.seen = true
+	e.estimate = e.beta*actualJ + (1-e.beta)*e.estimate
+}
+
+// Estimate returns the current transmission-energy estimate in joules.
+func (e *TxEnergyEstimator) Estimate() float64 { return e.estimate }
+
+// RetxHistory tracks, per forecast window index, how many retransmissions
+// past packets needed (Eq. 14). The protocol uses the expected number of
+// attempts per window to inflate that window's energy estimate, which
+// steers nodes away from historically crowded windows.
+type RetxHistory struct {
+	maxRetx  int
+	counts   [][]uint32 // counts[window][retx] = I_{r,t}
+	selected []uint32   // S_t
+}
+
+// NewRetxHistory returns a history for window indexes [0, windows) and
+// retransmission counts [0, maxRetx].
+func NewRetxHistory(windows, maxRetx int) (*RetxHistory, error) {
+	if windows <= 0 {
+		return nil, fmt.Errorf("core: retx history needs at least one window, got %d", windows)
+	}
+	if maxRetx < 0 {
+		return nil, fmt.Errorf("core: negative max retransmissions %d", maxRetx)
+	}
+	h := &RetxHistory{
+		maxRetx:  maxRetx,
+		counts:   make([][]uint32, windows),
+		selected: make([]uint32, windows),
+	}
+	for i := range h.counts {
+		h.counts[i] = make([]uint32, maxRetx+1)
+	}
+	return h, nil
+}
+
+// Windows returns the number of window indexes tracked.
+func (h *RetxHistory) Windows() int { return len(h.counts) }
+
+// Observe records that a packet sent in the given window needed the
+// given number of retransmissions. Out-of-range values are clamped, so
+// nodes whose sampling period shrank keep learning.
+func (h *RetxHistory) Observe(window, retx int) {
+	window = clampInt(window, 0, len(h.counts)-1)
+	retx = clampInt(retx, 0, h.maxRetx)
+	h.counts[window][retx]++
+	h.selected[window]++
+}
+
+// Prob returns P(retx <= r | window) per Eq. (14): the cumulative
+// probability of needing at most r retransmissions in the window. With
+// no history it returns 1 for any r >= 0 (optimistic prior: no
+// retransmissions expected).
+func (h *RetxHistory) Prob(r, window int) float64 {
+	window = clampInt(window, 0, len(h.counts)-1)
+	if r < 0 {
+		return 0
+	}
+	r = clampInt(r, 0, h.maxRetx)
+	s := h.selected[window]
+	if s == 0 {
+		return 1
+	}
+	var cum uint32
+	for i := 0; i <= r; i++ {
+		cum += h.counts[window][i]
+	}
+	return float64(cum) / float64(s)
+}
+
+// ExpectedAttempts returns 1 plus the historical mean retransmission
+// count of the window; the optimistic prior with no history is 1.
+func (h *RetxHistory) ExpectedAttempts(window int) float64 {
+	window = clampInt(window, 0, len(h.counts)-1)
+	s := h.selected[window]
+	if s == 0 {
+		return 1
+	}
+	var weighted uint64
+	for r, c := range h.counts[window] {
+		weighted += uint64(r) * uint64(c)
+	}
+	return 1 + float64(weighted)/float64(s)
+}
+
+// Selections returns how many packets were observed for the window.
+func (h *RetxHistory) Selections(window int) int {
+	window = clampInt(window, 0, len(h.counts)-1)
+	return int(h.selected[window])
+}
+
+// DIF is the Degradation Impact Factor of transmitting in a forecast
+// window, Eq. (15):
+//
+//	DIF = (max(eTx, gen) - gen) / maxTx
+//
+// where eTx is the estimated energy a transmission will consume in the
+// window, gen the forecast green-energy generation, and maxTx the
+// maximum possible transmission energy. The result is clamped to [0,1]:
+// 0 means green energy fully covers the transmission (no cycle-aging
+// impact), 1 means the battery funds a worst-case transmission alone.
+func DIF(estTxJ, forecastGenJ, maxTxJ float64) float64 {
+	if maxTxJ <= 0 {
+		return 1
+	}
+	if forecastGenJ < 0 {
+		forecastGenJ = 0
+	}
+	d := (max(estTxJ, forecastGenJ) - forecastGenJ) / maxTxJ
+	return min(1, max(0, d))
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTxEnergyEstimatorEWMA(t *testing.T) {
+	e := NewTxEnergyEstimator(0.3, 0.1)
+	if got := e.Estimate(); got != 0.1 {
+		t.Fatalf("initial estimate = %v, want 0.1", got)
+	}
+	e.Observe(0.2)
+	want := 0.3*0.2 + 0.7*0.1
+	if got := e.Estimate(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("after observe = %v, want %v (Eq. 13)", got, want)
+	}
+}
+
+func TestTxEnergyEstimatorConvergence(t *testing.T) {
+	e := NewTxEnergyEstimator(0.3, 1.0)
+	for i := 0; i < 100; i++ {
+		e.Observe(0.05)
+	}
+	if got := e.Estimate(); math.Abs(got-0.05) > 1e-9 {
+		t.Errorf("estimate should converge to 0.05, got %v", got)
+	}
+}
+
+func TestTxEnergyEstimatorEdgeCases(t *testing.T) {
+	// Negative observations are ignored.
+	e := NewTxEnergyEstimator(0.5, 0.2)
+	e.Observe(-1)
+	if got := e.Estimate(); got != 0.2 {
+		t.Errorf("negative observation changed estimate to %v", got)
+	}
+
+	// A zero initial estimate adopts the first observation outright.
+	z := NewTxEnergyEstimator(0.1, 0)
+	z.Observe(0.3)
+	if got := z.Estimate(); got != 0.3 {
+		t.Errorf("zero-initialized estimator = %v, want 0.3", got)
+	}
+
+	// Beta is clamped into (0,1].
+	c := NewTxEnergyEstimator(7, 1)
+	c.Observe(2)
+	if got := c.Estimate(); got != 2 {
+		t.Errorf("beta=1 estimator should track exactly, got %v", got)
+	}
+	d := NewTxEnergyEstimator(-1, 1)
+	d.Observe(100)
+	if got := d.Estimate(); got <= 1 || got >= 2 {
+		t.Errorf("tiny-beta estimator moved to %v, want barely above 1", got)
+	}
+}
+
+func TestTxEnergyEstimatorNonNegative(t *testing.T) {
+	f := func(beta, initial float64, obs []float64) bool {
+		if math.IsNaN(beta) || math.IsNaN(initial) {
+			return true
+		}
+		e := NewTxEnergyEstimator(math.Mod(math.Abs(beta), 1), math.Mod(math.Abs(initial), 10))
+		for _, o := range obs {
+			if math.IsNaN(o) {
+				continue
+			}
+			e.Observe(math.Mod(o, 100))
+		}
+		return e.Estimate() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewRetxHistoryValidation(t *testing.T) {
+	if _, err := NewRetxHistory(0, 7); err == nil {
+		t.Error("zero windows should fail")
+	}
+	if _, err := NewRetxHistory(10, -1); err == nil {
+		t.Error("negative max retx should fail")
+	}
+	h, err := NewRetxHistory(10, 7)
+	if err != nil {
+		t.Fatalf("NewRetxHistory: %v", err)
+	}
+	if h.Windows() != 10 {
+		t.Errorf("Windows = %d, want 10", h.Windows())
+	}
+}
+
+func TestRetxHistoryProbEq14(t *testing.T) {
+	h, err := NewRetxHistory(4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window 1: three packets, with 0, 0 and 2 retransmissions.
+	h.Observe(1, 0)
+	h.Observe(1, 0)
+	h.Observe(1, 2)
+
+	tests := []struct {
+		r    int
+		want float64
+	}{
+		{0, 2.0 / 3},
+		{1, 2.0 / 3},
+		{2, 1},
+		{7, 1},
+		{-1, 0},
+	}
+	for _, tt := range tests {
+		if got := h.Prob(tt.r, 1); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Prob(%d|1) = %v, want %v", tt.r, got, tt.want)
+		}
+	}
+
+	// Unobserved window: optimistic prior.
+	if got := h.Prob(0, 2); got != 1 {
+		t.Errorf("Prob(0|unobserved) = %v, want 1", got)
+	}
+	if got := h.ExpectedAttempts(2); got != 1 {
+		t.Errorf("ExpectedAttempts(unobserved) = %v, want 1", got)
+	}
+}
+
+func TestRetxHistoryExpectedAttempts(t *testing.T) {
+	h, err := NewRetxHistory(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(0, 0)
+	h.Observe(0, 4)
+	want := 1 + (0.0+4.0)/2
+	if got := h.ExpectedAttempts(0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ExpectedAttempts = %v, want %v", got, want)
+	}
+	if got := h.Selections(0); got != 2 {
+		t.Errorf("Selections = %d, want 2", got)
+	}
+}
+
+func TestRetxHistoryClamping(t *testing.T) {
+	h, err := NewRetxHistory(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(99, 99) // clamps to window 2, retx 7
+	h.Observe(-5, -5) // clamps to window 0, retx 0
+	if got := h.Selections(2); got != 1 {
+		t.Errorf("clamped high observation lost: %d", got)
+	}
+	if got := h.Selections(0); got != 1 {
+		t.Errorf("clamped low observation lost: %d", got)
+	}
+	if got := h.ExpectedAttempts(2); got != 8 {
+		t.Errorf("ExpectedAttempts(2) = %v, want 8", got)
+	}
+}
+
+func TestRetxHistoryProbMonotoneCDF(t *testing.T) {
+	h, err := NewRetxHistory(5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(obs []uint16) bool {
+		for _, o := range obs {
+			h.Observe(int(o%5), int(o>>8)%8)
+		}
+		for w := 0; w < 5; w++ {
+			prev := 0.0
+			for r := 0; r <= 7; r++ {
+				p := h.Prob(r, w)
+				if p < prev-1e-12 || p < 0 || p > 1 {
+					return false
+				}
+				prev = p
+			}
+			if math.Abs(h.Prob(7, w)-1) > 1e-12 {
+				return false // CDF must reach 1 at max retx
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDIF(t *testing.T) {
+	tests := []struct {
+		name           string
+		est, gen, maxE float64
+		want           float64
+	}{
+		{"fully covered", 0.03, 0.05, 0.24, 0},
+		{"exactly covered", 0.03, 0.03, 0.24, 0},
+		{"no generation", 0.03, 0, 0.24, 0.125},
+		{"partial", 0.03, 0.01, 0.08, 0.25},
+		{"clamped at one", 0.5, 0, 0.1, 1},
+		{"negative gen treated as zero", 0.04, -1, 0.08, 0.5},
+		{"degenerate max", 0.03, 0, 0, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := DIF(tt.est, tt.gen, tt.maxE); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("DIF(%v,%v,%v) = %v, want %v", tt.est, tt.gen, tt.maxE, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDIFBounded(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) {
+			return true
+		}
+		d := DIF(math.Abs(a), b, math.Abs(c))
+		return d >= 0 && d <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/utility"
+)
+
+// Inputs carries everything Algorithm 1 needs to pick a forecast window
+// for the current sampling period.
+type Inputs struct {
+	// StoredEnergy is the battery's current stored energy psi in joules.
+	StoredEnergy float64
+	// NormalizedDegradation is w_u in [0,1], disseminated daily by the
+	// gateway: this node's degradation relative to the most degraded
+	// battery in the network. A brand-new node uses 0.
+	NormalizedDegradation float64
+	// ForecastGen is the forecast green-energy generation E_g[t] in
+	// joules for each forecast window of the period; its length defines
+	// the number of windows |T|.
+	ForecastGen []float64
+	// EstTxEnergy is the estimated transmission energy e_tx[t] in joules
+	// per window, already inflated by the window's expected
+	// retransmission count.
+	EstTxEnergy []float64
+	// MaxTxEnergy is E_tx_max: the worst-case energy of a transmission
+	// (all attempts), used to normalize the DIF.
+	MaxTxEnergy float64
+}
+
+// Validate reports the first inconsistency in the inputs.
+func (in Inputs) Validate() error {
+	switch {
+	case len(in.ForecastGen) == 0:
+		return fmt.Errorf("core: no forecast windows")
+	case len(in.EstTxEnergy) != len(in.ForecastGen):
+		return fmt.Errorf("core: %d energy estimates for %d windows", len(in.EstTxEnergy), len(in.ForecastGen))
+	case in.MaxTxEnergy <= 0:
+		return fmt.Errorf("core: non-positive max transmission energy %v", in.MaxTxEnergy)
+	case in.StoredEnergy < 0:
+		return fmt.Errorf("core: negative stored energy %v", in.StoredEnergy)
+	case in.NormalizedDegradation < 0 || in.NormalizedDegradation > 1:
+		return fmt.Errorf("core: normalized degradation %v outside [0,1]", in.NormalizedDegradation)
+	}
+	return nil
+}
+
+// Decision is the outcome of Algorithm 1 for one packet.
+type Decision struct {
+	// OK is false when no window can fund the transmission (the packet
+	// is dropped, Algorithm 1's FAIL).
+	OK bool
+	// Window is the chosen zero-based forecast window.
+	Window int
+	// Objective is the gamma value of the chosen window.
+	Objective float64
+	// DIF is the chosen window's degradation impact factor.
+	DIF float64
+	// Utility is the data utility of transmitting in the chosen window.
+	Utility float64
+}
+
+// Selector runs the on-sensor forecast-window selection (Algorithm 1).
+// The zero value is not useful: construct with a utility function and
+// the network manager's degradation weight w_b.
+type Selector struct {
+	utility utility.Function
+	weightB float64
+
+	// scratch buffers reused across Select calls to keep the decision
+	// path allocation-free on the node.
+	gamma  []float64
+	order  []int
+	cumGen []float64
+}
+
+// NewSelector returns a selector with the given utility function and
+// degradation-vs-utility weight w_b in [0,1].
+func NewSelector(fn utility.Function, weightB float64) (*Selector, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("core: nil utility function")
+	}
+	if weightB < 0 || weightB > 1 {
+		return nil, fmt.Errorf("core: weight w_b %v outside [0,1]", weightB)
+	}
+	return &Selector{utility: fn, weightB: weightB}, nil
+}
+
+// WeightB returns the configured degradation weight w_b.
+func (s *Selector) WeightB() float64 { return s.weightB }
+
+// Select implements Algorithm 1: it evaluates the objective
+//
+//	gamma_t = (1 - mu(t)) + w_u * DIF_t * w_b
+//
+// for every forecast window, sorts windows by non-decreasing gamma, and
+// returns the best window whose cumulative energy (stored + forecast
+// generation up to and including the window) covers the estimated
+// transmission energy. If no window is feasible the decision reports
+// FAIL and the packet is dropped.
+func (s *Selector) Select(in Inputs) (Decision, error) {
+	if err := in.Validate(); err != nil {
+		return Decision{}, err
+	}
+	n := len(in.ForecastGen)
+	s.resize(n)
+
+	for t := 0; t < n; t++ {
+		mu := s.utility.Value(t, n)
+		d := DIF(in.EstTxEnergy[t], in.ForecastGen[t], in.MaxTxEnergy)
+		s.gamma[t] = (1 - mu) + in.NormalizedDegradation*d*s.weightB
+		s.order[t] = t
+	}
+
+	// Cumulative available energy through the end of window t.
+	cum := in.StoredEnergy
+	for t := 0; t < n; t++ {
+		cum += max(0, in.ForecastGen[t])
+		s.cumGen[t] = cum
+	}
+
+	// Sort windows by non-decreasing gamma; insertion sort is stable (ties
+	// resolve to the earlier window, which maximizes utility among equals)
+	// and allocation-free for the tens of windows a period contains.
+	for i := 1; i < n; i++ {
+		t := s.order[i]
+		g := s.gamma[t]
+		j := i - 1
+		for j >= 0 && s.gamma[s.order[j]] > g {
+			s.order[j+1] = s.order[j]
+			j--
+		}
+		s.order[j+1] = t
+	}
+
+	for _, t := range s.order {
+		if s.cumGen[t]-in.EstTxEnergy[t] > 0 {
+			return Decision{
+				OK:        true,
+				Window:    t,
+				Objective: s.gamma[t],
+				DIF:       DIF(in.EstTxEnergy[t], in.ForecastGen[t], in.MaxTxEnergy),
+				Utility:   s.utility.Value(t, n),
+			}, nil
+		}
+	}
+	return Decision{}, nil
+}
+
+func (s *Selector) resize(n int) {
+	if cap(s.gamma) < n {
+		s.gamma = make([]float64, n)
+		s.order = make([]int, n)
+		s.cumGen = make([]float64, n)
+		return
+	}
+	s.gamma = s.gamma[:n]
+	s.order = s.order[:n]
+	s.cumGen = s.cumGen[:n]
+}

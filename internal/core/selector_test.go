@@ -1,0 +1,310 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/utility"
+)
+
+func newTestSelector(t *testing.T, weightB float64) *Selector {
+	t.Helper()
+	s, err := NewSelector(utility.Linear{}, weightB)
+	if err != nil {
+		t.Fatalf("NewSelector: %v", err)
+	}
+	return s
+}
+
+func TestNewSelectorValidation(t *testing.T) {
+	if _, err := NewSelector(nil, 1); err == nil {
+		t.Error("nil utility should fail")
+	}
+	if _, err := NewSelector(utility.Linear{}, -0.1); err == nil {
+		t.Error("negative w_b should fail")
+	}
+	if _, err := NewSelector(utility.Linear{}, 1.1); err == nil {
+		t.Error("w_b > 1 should fail")
+	}
+	s, err := NewSelector(utility.Linear{}, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.WeightB(); got != 0.7 {
+		t.Errorf("WeightB = %v, want 0.7", got)
+	}
+}
+
+func TestInputsValidate(t *testing.T) {
+	valid := Inputs{
+		StoredEnergy: 1,
+		ForecastGen:  []float64{0.1, 0.1},
+		EstTxEnergy:  []float64{0.03, 0.03},
+		MaxTxEnergy:  0.24,
+	}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid inputs rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Inputs)
+	}{
+		{"no windows", func(in *Inputs) { in.ForecastGen = nil }},
+		{"length mismatch", func(in *Inputs) { in.EstTxEnergy = in.EstTxEnergy[:1] }},
+		{"zero max tx", func(in *Inputs) { in.MaxTxEnergy = 0 }},
+		{"negative stored", func(in *Inputs) { in.StoredEnergy = -1 }},
+		{"w_u out of range", func(in *Inputs) { in.NormalizedDegradation = 2 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			in := valid
+			in.ForecastGen = append([]float64(nil), valid.ForecastGen...)
+			in.EstTxEnergy = append([]float64(nil), valid.EstTxEnergy...)
+			tt.mutate(&in)
+			if err := in.Validate(); err == nil {
+				t.Error("Validate should fail")
+			}
+			if _, err := newTestSelector(t, 1).Select(in); err == nil {
+				t.Error("Select should propagate validation error")
+			}
+		})
+	}
+}
+
+// TestSelectNewNodePrioritizesUtility: a node with w_u = 0 (fresh
+// battery) ignores the DIF and transmits as early as energy allows,
+// maximizing utility — the paper's "new node" behaviour.
+func TestSelectNewNodePrioritizesUtility(t *testing.T) {
+	s := newTestSelector(t, 1)
+	d, err := s.Select(Inputs{
+		StoredEnergy:          1,
+		NormalizedDegradation: 0,
+		ForecastGen:           []float64{0, 0, 0.5, 0.5},
+		EstTxEnergy:           []float64{0.03, 0.03, 0.03, 0.03},
+		MaxTxEnergy:           0.24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK || d.Window != 0 {
+		t.Errorf("decision = %+v, want window 0", d)
+	}
+	if d.Utility != 1 {
+		t.Errorf("utility = %v, want 1", d.Utility)
+	}
+}
+
+// TestSelectDegradedNodeChasesGreenEnergy reproduces the paper's Fig. 3:
+// when harvested energy in the early window cannot cover the
+// transmission, the most degraded node (w_u = 1) defers to a window with
+// generation, while the least degraded node still transmits early.
+func TestSelectDegradedNodeChasesGreenEnergy(t *testing.T) {
+	// The utility lost by waiting one of the 4 windows is 0.25; the DIF of
+	// an uncovered transmission is 0.12/0.24 = 0.5, so a fully degraded
+	// node defers while a fresh one does not.
+	in := Inputs{
+		StoredEnergy: 1,
+		ForecastGen:  []float64{0, 0.16, 0.02, 0},
+		EstTxEnergy:  []float64{0.12, 0.12, 0.12, 0.12},
+		MaxTxEnergy:  0.24,
+	}
+	s := newTestSelector(t, 1)
+
+	in.NormalizedDegradation = 1 // most degraded node
+	d, err := s.Select(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK || d.Window != 1 {
+		t.Errorf("degraded node chose %+v, want window 1 (green energy)", d)
+	}
+	if d.DIF != 0 {
+		t.Errorf("DIF in covered window = %v, want 0", d.DIF)
+	}
+
+	in.NormalizedDegradation = 0 // freshest node
+	d, err = s.Select(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK || d.Window != 0 {
+		t.Errorf("fresh node chose %+v, want window 0 (utility)", d)
+	}
+}
+
+// TestSelectWeightBZeroDisablesDegradation: with w_b = 0 the network
+// manager disables lifespan awareness entirely.
+func TestSelectWeightBZeroDisablesDegradation(t *testing.T) {
+	s := newTestSelector(t, 0)
+	d, err := s.Select(Inputs{
+		StoredEnergy:          1,
+		NormalizedDegradation: 1,
+		ForecastGen:           []float64{0, 1, 1},
+		EstTxEnergy:           []float64{0.03, 0.03, 0.03},
+		MaxTxEnergy:           0.24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK || d.Window != 0 {
+		t.Errorf("w_b=0 decision = %+v, want window 0", d)
+	}
+}
+
+// TestSelectEnergyFeasibility: early low-gamma windows are skipped when
+// the battery plus cumulative generation cannot fund the transmission.
+func TestSelectEnergyFeasibility(t *testing.T) {
+	s := newTestSelector(t, 1)
+	d, err := s.Select(Inputs{
+		StoredEnergy:          0,
+		NormalizedDegradation: 0,
+		ForecastGen:           []float64{0, 0.01, 0.05},
+		EstTxEnergy:           []float64{0.04, 0.04, 0.04},
+		MaxTxEnergy:           0.24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cumulative energy: 0, 0.01, 0.06 -> only window 2 clears 0.04.
+	if !d.OK || d.Window != 2 {
+		t.Errorf("decision = %+v, want window 2", d)
+	}
+}
+
+// TestSelectFail: Algorithm 1 returns FAIL when no window is feasible
+// (e.g. a long overcast night with a depleted battery).
+func TestSelectFail(t *testing.T) {
+	s := newTestSelector(t, 1)
+	d, err := s.Select(Inputs{
+		StoredEnergy:          0.01,
+		NormalizedDegradation: 0.5,
+		ForecastGen:           []float64{0, 0, 0},
+		EstTxEnergy:           []float64{0.04, 0.04, 0.04},
+		MaxTxEnergy:           0.24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OK {
+		t.Errorf("decision = %+v, want FAIL", d)
+	}
+}
+
+// TestSelectObjectiveOptimal: the chosen window minimizes gamma among
+// all feasible windows (brute-force cross-check).
+func TestSelectObjectiveOptimal(t *testing.T) {
+	s := newTestSelector(t, 1)
+	f := func(seed uint64, rawN uint8, rawWu uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		n := int(rawN%20) + 1
+		wu := float64(rawWu%101) / 100
+		in := Inputs{
+			StoredEnergy:          rng.Float64() * 0.1,
+			NormalizedDegradation: wu,
+			ForecastGen:           make([]float64, n),
+			EstTxEnergy:           make([]float64, n),
+			MaxTxEnergy:           0.24,
+		}
+		for i := 0; i < n; i++ {
+			in.ForecastGen[i] = rng.Float64() * 0.08
+			in.EstTxEnergy[i] = 0.02 + rng.Float64()*0.1
+		}
+		d, err := s.Select(in)
+		if err != nil {
+			return false
+		}
+		// Brute force.
+		bestWindow, bestGamma := -1, math.Inf(1)
+		cum := in.StoredEnergy
+		for t := 0; t < n; t++ {
+			cum += in.ForecastGen[t]
+			mu := utility.Linear{}.Value(t, n)
+			gamma := (1 - mu) + wu*DIF(in.EstTxEnergy[t], in.ForecastGen[t], in.MaxTxEnergy)
+			if cum-in.EstTxEnergy[t] > 0 && gamma < bestGamma-1e-15 {
+				bestGamma, bestWindow = gamma, t
+			}
+		}
+		if bestWindow == -1 {
+			return !d.OK
+		}
+		return d.OK && math.Abs(d.Objective-bestGamma) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSelectTieBreaksEarlier: equal-gamma windows resolve to the earliest.
+func TestSelectTieBreaksEarlier(t *testing.T) {
+	s, err := NewSelector(utility.Indifferent{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Select(Inputs{
+		StoredEnergy:          1,
+		NormalizedDegradation: 1,
+		ForecastGen:           []float64{0.5, 0.5, 0.5}, // all DIF 0, all utility 1
+		EstTxEnergy:           []float64{0.03, 0.03, 0.03},
+		MaxTxEnergy:           0.24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK || d.Window != 0 {
+		t.Errorf("decision = %+v, want earliest window on tie", d)
+	}
+}
+
+// TestSelectorReuseAcrossSizes: scratch buffers must resize correctly
+// when the number of windows changes between calls.
+func TestSelectorReuseAcrossSizes(t *testing.T) {
+	s := newTestSelector(t, 1)
+	for _, n := range []int{16, 60, 3, 40, 1} {
+		in := Inputs{
+			StoredEnergy: 1,
+			ForecastGen:  make([]float64, n),
+			EstTxEnergy:  make([]float64, n),
+			MaxTxEnergy:  0.24,
+		}
+		for i := range in.EstTxEnergy {
+			in.EstTxEnergy[i] = 0.03
+		}
+		d, err := s.Select(in)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !d.OK || d.Window < 0 || d.Window >= n {
+			t.Fatalf("n=%d: decision %+v out of range", n, d)
+		}
+	}
+}
+
+// TestSelectAllocationFree: the steady-state decision path must not
+// allocate — it runs on a constrained sensor every sampling period.
+func TestSelectAllocationFree(t *testing.T) {
+	s := newTestSelector(t, 1)
+	in := Inputs{
+		StoredEnergy:          1,
+		NormalizedDegradation: 0.5,
+		ForecastGen:           make([]float64, 60),
+		EstTxEnergy:           make([]float64, 60),
+		MaxTxEnergy:           0.24,
+	}
+	for i := range in.EstTxEnergy {
+		in.EstTxEnergy[i] = 0.03
+		in.ForecastGen[i] = float64(i%7) * 0.01
+	}
+	if _, err := s.Select(in); err != nil { // warm up scratch buffers
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := s.Select(in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Select allocates %v times per run, want 0", allocs)
+	}
+}

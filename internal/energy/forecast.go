@@ -1,0 +1,152 @@
+package energy
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/simtime"
+)
+
+// Forecaster predicts per-window harvested energy, the on-sensor stand-in
+// for the PV-forecast models of the paper's reference [22]. Forecasters
+// learn only from locally observable history (Observe); the simulator
+// feeds each node's forecaster the energy its own panel actually
+// harvested.
+type Forecaster interface {
+	// ForecastWindows predicts the energy in joules harvested in each of
+	// n consecutive windows of length window starting at t.
+	ForecastWindows(t simtime.Time, window simtime.Duration, n int) []float64
+	// Observe records that energyJ joules were actually harvested during
+	// [from, to), so learning forecasters can adapt.
+	Observe(from, to simtime.Time, energyJ float64)
+}
+
+// Perfect is an oracle forecaster that returns the source's actual
+// generation. It isolates protocol behaviour from forecast error in
+// ablation experiments.
+type Perfect struct {
+	Source Source
+}
+
+var _ Forecaster = (*Perfect)(nil)
+
+// ForecastWindows implements Forecaster.
+func (p *Perfect) ForecastWindows(t simtime.Time, window simtime.Duration, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		from := t.Add(simtime.Duration(i) * window)
+		out[i] = p.Source.Energy(from, from.Add(window))
+	}
+	return out
+}
+
+// Observe implements Forecaster; the oracle has nothing to learn.
+func (p *Perfect) Observe(simtime.Time, simtime.Time, float64) {}
+
+// Noisy wraps the oracle with multiplicative Gaussian error of the given
+// relative standard deviation, for forecast-quality ablations.
+type Noisy struct {
+	inner  Perfect
+	relStd float64
+	rng    *rand.Rand
+}
+
+var _ Forecaster = (*Noisy)(nil)
+
+// NewNoisy returns a noisy oracle forecaster seeded deterministically.
+func NewNoisy(src Source, relStd float64, seed uint64) *Noisy {
+	return &Noisy{
+		inner:  Perfect{Source: src},
+		relStd: relStd,
+		rng:    rand.New(rand.NewPCG(seed, 0xf04eca57)),
+	}
+}
+
+// ForecastWindows implements Forecaster.
+func (f *Noisy) ForecastWindows(t simtime.Time, window simtime.Duration, n int) []float64 {
+	out := f.inner.ForecastWindows(t, window, n)
+	for i := range out {
+		out[i] = max(0, out[i]*(1+f.relStd*f.rng.NormFloat64()))
+	}
+	return out
+}
+
+// Observe implements Forecaster.
+func (f *Noisy) Observe(simtime.Time, simtime.Time, float64) {}
+
+// minutesPerDay is the resolution of the DiurnalEWMA profile.
+const minutesPerDay = 24 * 60
+
+// DiurnalEWMA is the default on-sensor forecaster: it maintains an
+// exponentially weighted moving average of observed power for every
+// minute of the day and predicts a window's energy as the profile mean
+// over the window. It uses only locally available history, matching the
+// constraints the paper places on node-side forecasting.
+type DiurnalEWMA struct {
+	alpha   float64
+	profile [minutesPerDay]float64
+	seen    [minutesPerDay]bool
+}
+
+var _ Forecaster = (*DiurnalEWMA)(nil)
+
+// NewDiurnalEWMA returns an empty profile with the given smoothing factor
+// (weight of the newest observation); alpha is clamped into (0,1].
+func NewDiurnalEWMA(alpha float64) *DiurnalEWMA {
+	return &DiurnalEWMA{alpha: min(1, max(1e-3, alpha))}
+}
+
+// Observe implements Forecaster: the average power over [from, to) is
+// folded into every minute-of-day slot the interval covers.
+func (f *DiurnalEWMA) Observe(from, to simtime.Time, energyJ float64) {
+	if to <= from {
+		return
+	}
+	power := energyJ / to.Sub(from).Seconds()
+	start := int64(from / simtime.Time(simtime.Minute))
+	end := int64((to - 1) / simtime.Time(simtime.Minute))
+	for m := start; m <= end; m++ {
+		slot := int(m % minutesPerDay)
+		if !f.seen[slot] {
+			f.profile[slot] = power
+			f.seen[slot] = true
+			continue
+		}
+		f.profile[slot] = f.alpha*power + (1-f.alpha)*f.profile[slot]
+	}
+}
+
+// ForecastWindows implements Forecaster.
+func (f *DiurnalEWMA) ForecastWindows(t simtime.Time, window simtime.Duration, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		from := t.Add(simtime.Duration(i) * window)
+		to := from.Add(window)
+		var joules float64
+		cursor := from
+		minute := int64(from / simtime.Time(simtime.Minute))
+		for cursor < to {
+			next := simtime.Time(minute+1) * simtime.Time(simtime.Minute)
+			if next > to {
+				next = to
+			}
+			joules += f.profile[int(minute%minutesPerDay)] * next.Sub(cursor).Seconds()
+			cursor = next
+			minute++
+		}
+		out[i] = joules
+	}
+	return out
+}
+
+// Prime trains the profile by replaying the source for the given number
+// of days before deployment, emulating the paper's offline training at
+// the gateway.
+func (f *DiurnalEWMA) Prime(src Source, days int) {
+	for d := 0; d < days; d++ {
+		for m := 0; m < minutesPerDay; m++ {
+			from := simtime.Time(d*minutesPerDay+m) * simtime.Time(simtime.Minute)
+			to := from.Add(simtime.Minute)
+			f.Observe(from, to, src.Energy(from, to))
+		}
+	}
+}

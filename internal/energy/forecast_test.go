@@ -1,0 +1,149 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// constantSource emits a fixed power at all times.
+type constantSource struct{ watts float64 }
+
+func (s constantSource) Power(simtime.Time) float64 { return s.watts }
+
+func (s constantSource) Energy(from, to simtime.Time) float64 {
+	if to <= from {
+		return 0
+	}
+	return s.watts * to.Sub(from).Seconds()
+}
+
+func TestPerfectForecaster(t *testing.T) {
+	yt := newTestTrace(t, 31)
+	src := yt.NodeSource(0, 1, 0.2)
+	f := &Perfect{Source: src}
+
+	start := simtime.Time(50*24*60+10*60) * simtime.Time(simtime.Minute)
+	got := f.ForecastWindows(start, simtime.Minute, 10)
+	if len(got) != 10 {
+		t.Fatalf("forecast length %d, want 10", len(got))
+	}
+	for i, g := range got {
+		from := start.Add(simtime.Duration(i) * simtime.Minute)
+		want := src.Energy(from, from.Add(simtime.Minute))
+		if g != want {
+			t.Errorf("window %d forecast %v, want %v", i, g, want)
+		}
+	}
+}
+
+func TestNoisyForecaster(t *testing.T) {
+	src := constantSource{watts: 1}
+	f := NewNoisy(src, 0.2, 77)
+
+	start := simtime.Time(0)
+	n := 2000
+	got := f.ForecastWindows(start, simtime.Minute, n)
+	var sum float64
+	for _, g := range got {
+		if g < 0 {
+			t.Fatal("noisy forecast must be clamped at zero")
+		}
+		sum += g
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-60)/60 > 0.05 {
+		t.Errorf("noisy forecast mean %v, want ~60 J (unbiased)", mean)
+	}
+
+	// Determinism per seed.
+	again := NewNoisy(src, 0.2, 77).ForecastWindows(start, simtime.Minute, 5)
+	first := NewNoisy(src, 0.2, 77).ForecastWindows(start, simtime.Minute, 5)
+	for i := range again {
+		if again[i] != first[i] {
+			t.Fatal("noisy forecaster not deterministic per seed")
+		}
+	}
+}
+
+func TestDiurnalEWMAColdStart(t *testing.T) {
+	f := NewDiurnalEWMA(0.3)
+	got := f.ForecastWindows(0, simtime.Minute, 5)
+	for i, g := range got {
+		if g != 0 {
+			t.Errorf("cold-start forecast[%d] = %v, want 0", i, g)
+		}
+	}
+}
+
+func TestDiurnalEWMALearnsConstant(t *testing.T) {
+	f := NewDiurnalEWMA(0.3)
+	src := constantSource{watts: 0.5}
+	f.Prime(src, 3)
+
+	got := f.ForecastWindows(simtime.Time(3*simtime.Day), simtime.Minute, 3)
+	for i, g := range got {
+		if !closeTo(g, 0.5*60, 1e-9) {
+			t.Errorf("forecast[%d] = %v, want 30 J", i, g)
+		}
+	}
+}
+
+func TestDiurnalEWMATracksDiurnalShape(t *testing.T) {
+	yt := newTestTrace(t, 37)
+	src := yt.NodeSource(0, 1, 0)
+	f := NewDiurnalEWMA(0.3)
+	f.Prime(src, 20)
+
+	day := simtime.Time(20 * simtime.Day)
+	night := f.ForecastWindows(day.Add(2*simtime.Hour), simtime.Minute, 5)
+	noon := f.ForecastWindows(day.Add(12*simtime.Hour), simtime.Minute, 5)
+	for i, g := range night {
+		if g != 0 {
+			t.Errorf("night forecast[%d] = %v, want 0", i, g)
+		}
+	}
+	var noonSum float64
+	for _, g := range noon {
+		noonSum += g
+	}
+	if noonSum <= 0 {
+		t.Error("noon forecast should be positive after priming")
+	}
+}
+
+func TestDiurnalEWMAObserveWeighting(t *testing.T) {
+	f := NewDiurnalEWMA(0.25)
+	slotStart := simtime.Time(10 * simtime.Minute)
+	// First observation initializes the slot outright.
+	f.Observe(slotStart, slotStart.Add(simtime.Minute), 60) // 1 W
+	// Second observation one day later blends with weight alpha.
+	dayLater := slotStart.Add(simtime.Day)
+	f.Observe(dayLater, dayLater.Add(simtime.Minute), 120) // 2 W
+	got := f.ForecastWindows(slotStart.Add(2*simtime.Day), simtime.Minute, 1)[0]
+	wantPower := 0.25*2 + 0.75*1
+	if !closeTo(got, wantPower*60, 1e-9) {
+		t.Errorf("blended forecast %v J, want %v J", got, wantPower*60)
+	}
+}
+
+func TestDiurnalEWMAObserveIgnoresEmptyInterval(t *testing.T) {
+	f := NewDiurnalEWMA(0.3)
+	f.Observe(100, 100, 5)
+	f.Observe(200, 100, 5)
+	if got := f.ForecastWindows(0, simtime.Minute, 1)[0]; got != 0 {
+		t.Errorf("forecast after degenerate observations = %v, want 0", got)
+	}
+}
+
+func TestDiurnalEWMAAlphaClamped(t *testing.T) {
+	f := NewDiurnalEWMA(5)
+	if f.alpha != 1 {
+		t.Errorf("alpha = %v, want clamped to 1", f.alpha)
+	}
+	g := NewDiurnalEWMA(0)
+	if g.alpha <= 0 {
+		t.Errorf("alpha = %v, want clamped above 0", g.alpha)
+	}
+}

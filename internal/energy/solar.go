@@ -1,0 +1,252 @@
+// Package energy provides the green-energy harvesting substrate: a
+// deterministic synthetic solar-power trace with diurnal, seasonal and
+// cloud-cover structure (standing in for the NREL measurement trace the
+// paper replays), per-node spatial variation, and the very-short-term
+// forecasters nodes use to predict per-window energy generation.
+package energy
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/simtime"
+)
+
+// Source supplies harvested power for one node.
+type Source interface {
+	// Power returns the instantaneous harvested power in watts at t.
+	Power(t simtime.Time) float64
+	// Energy returns the energy in joules harvested during [from, to).
+	Energy(from, to simtime.Time) float64
+}
+
+// minutesPerYear is the resolution of the base trace: one sample per
+// minute over the simulated 365-day year.
+const minutesPerYear = 365 * 24 * 60
+
+// Weather states of the daily Markov chain.
+const (
+	weatherClear = iota
+	weatherPartly
+	weatherOvercast
+	numWeatherStates
+)
+
+// SolarConfig parameterizes the synthetic year-long solar trace.
+type SolarConfig struct {
+	// Seed drives all randomness in the trace.
+	Seed uint64
+	// DaylightAmplitudeHours is the seasonal swing of the day length
+	// around 12 h (≈3 h at mid latitudes).
+	DaylightAmplitudeHours float64
+	// SeasonalAmplitude is the seasonal swing of the clear-sky peak
+	// around its annual mean, in [0,1).
+	SeasonalAmplitude float64
+	// CloudAttenuation is the maximum fraction of power removed by full
+	// cloud cover.
+	CloudAttenuation float64
+	// WeatherPersistence is the probability that a day repeats the
+	// previous day's weather state.
+	WeatherPersistence float64
+}
+
+// DefaultSolarConfig returns a temperate mid-latitude configuration.
+func DefaultSolarConfig(seed uint64) SolarConfig {
+	return SolarConfig{
+		Seed:                   seed,
+		DaylightAmplitudeHours: 3,
+		SeasonalAmplitude:      0.25,
+		CloudAttenuation:       0.85,
+		WeatherPersistence:     0.6,
+	}
+}
+
+// Validate reports the first out-of-range parameter.
+func (c SolarConfig) Validate() error {
+	switch {
+	case c.DaylightAmplitudeHours < 0 || c.DaylightAmplitudeHours >= 12:
+		return fmt.Errorf("energy: daylight amplitude %v h outside [0,12)", c.DaylightAmplitudeHours)
+	case c.SeasonalAmplitude < 0 || c.SeasonalAmplitude >= 1:
+		return fmt.Errorf("energy: seasonal amplitude %v outside [0,1)", c.SeasonalAmplitude)
+	case c.CloudAttenuation < 0 || c.CloudAttenuation > 1:
+		return fmt.Errorf("energy: cloud attenuation %v outside [0,1]", c.CloudAttenuation)
+	case c.WeatherPersistence < 0 || c.WeatherPersistence > 1:
+		return fmt.Errorf("energy: weather persistence %v outside [0,1]", c.WeatherPersistence)
+	}
+	return nil
+}
+
+// YearTrace is the shared normalized (peak ≈ 1) solar-power profile of
+// the deployment area: one sample per minute for 365 days. Node sources
+// scale it to their panel size and add local cloud variation. A YearTrace
+// is immutable after construction and safe for concurrent use.
+type YearTrace struct {
+	cfg     SolarConfig
+	samples []float32
+}
+
+// NewYearTrace synthesizes the deployment-wide trace. The construction is
+// deterministic in the config.
+func NewYearTrace(cfg SolarConfig) (*YearTrace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	yt := &YearTrace{cfg: cfg, samples: make([]float32, minutesPerYear)}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x501a7))
+
+	state := weatherClear
+	cloud := 0.2 // Ornstein-Uhlenbeck cloudiness in [0,1]
+	for day := 0; day < 365; day++ {
+		state = nextWeather(rng, state, cfg.WeatherPersistence)
+		mu, sigma := cloudParams(state)
+		daylight := 12 + cfg.DaylightAmplitudeHours*math.Sin(2*math.Pi*float64(day-80)/365)
+		sunrise := 12 - daylight/2
+		seasonal := 1 - cfg.SeasonalAmplitude + cfg.SeasonalAmplitude*(1+math.Sin(2*math.Pi*float64(day-80)/365))/2
+		for m := 0; m < 24*60; m++ {
+			// Cloudiness evolves every minute, day and night, so mornings
+			// start from the overnight weather.
+			cloud += 0.02*(mu-cloud) + sigma*rng.NormFloat64()
+			cloud = min(1, max(0, cloud))
+
+			hour := float64(m) / 60
+			var clearSky float64
+			if hour > sunrise && hour < sunrise+daylight {
+				clearSky = math.Pow(math.Sin(math.Pi*(hour-sunrise)/daylight), 1.3)
+			}
+			p := seasonal * clearSky * (1 - cfg.CloudAttenuation*cloud)
+			yt.samples[day*24*60+m] = float32(p)
+		}
+	}
+	return yt, nil
+}
+
+func nextWeather(rng *rand.Rand, state int, persistence float64) int {
+	if rng.Float64() < persistence {
+		return state
+	}
+	// Base distribution over the other states.
+	switch r := rng.Float64(); {
+	case r < 0.5:
+		return weatherClear
+	case r < 0.85:
+		return weatherPartly
+	default:
+		return weatherOvercast
+	}
+}
+
+func cloudParams(state int) (mu, sigma float64) {
+	switch state {
+	case weatherClear:
+		return 0.08, 0.01
+	case weatherPartly:
+		return 0.45, 0.05
+	default: // overcast
+		return 0.9, 0.02
+	}
+}
+
+// At returns the normalized power at an absolute minute index, wrapping
+// across years with a small deterministic year-to-year factor.
+func (yt *YearTrace) At(minute int64) float64 {
+	if minute < 0 {
+		return 0
+	}
+	year := minute / minutesPerYear
+	idx := minute % minutesPerYear
+	base := float64(yt.samples[idx])
+	if year == 0 {
+		return base
+	}
+	// Year-to-year variability of +-8%.
+	f := 0.92 + 0.16*hash01(yt.cfg.Seed, uint64(year), 0x9e77)
+	return min(1, base*f)
+}
+
+// Config returns the trace configuration.
+func (yt *YearTrace) Config() SolarConfig { return yt.cfg }
+
+// NodeSource derives a node's harvest source from the shared trace.
+//
+// peakW is the panel's peak electrical power (the paper sizes it so peak
+// generation over one forecast window funds two transmissions).
+// variation adds deterministic per-node, per-interval multiplicative
+// noise of the given relative amplitude, emulating local cloud cover and
+// shading across the deployment area.
+func (yt *YearTrace) NodeSource(nodeID int, peakW, variation float64) Source {
+	return &nodeSource{
+		trace:     yt,
+		nodeID:    uint64(nodeID),
+		peakW:     peakW,
+		variation: min(1, max(0, variation)),
+	}
+}
+
+type nodeSource struct {
+	trace     *YearTrace
+	nodeID    uint64
+	peakW     float64
+	variation float64
+}
+
+var _ Source = (*nodeSource)(nil)
+
+// localFactor returns the node's multiplicative deviation for a 4-minute
+// block (blocks give local clouds a short coherence time).
+func (s *nodeSource) localFactor(minute int64) float64 {
+	if s.variation == 0 {
+		return 1
+	}
+	block := uint64(minute >> 2)
+	return 1 + s.variation*(2*hash01(s.trace.cfg.Seed, s.nodeID+0x5bd1e995, block)-1)
+}
+
+func (s *nodeSource) Power(t simtime.Time) float64 {
+	if t < 0 {
+		return 0
+	}
+	minute := int64(t / simtime.Time(simtime.Minute))
+	return s.peakW * s.trace.At(minute) * s.localFactor(minute)
+}
+
+func (s *nodeSource) Energy(from, to simtime.Time) float64 {
+	if to <= from {
+		return 0
+	}
+	if from < 0 {
+		from = 0
+	}
+	var total float64
+	minute := int64(from / simtime.Time(simtime.Minute))
+	cursor := from
+	for cursor < to {
+		next := simtime.Time(minute+1) * simtime.Time(simtime.Minute)
+		if next > to {
+			next = to
+		}
+		p := s.peakW * s.trace.At(minute) * s.localFactor(minute)
+		total += p * next.Sub(cursor).Seconds()
+		cursor = next
+		minute++
+	}
+	return total
+}
+
+// PeakPowerFor returns the panel peak power that generates exactly
+// multiple transmission energies per forecast window at full sun
+// (the paper uses multiple = 2).
+func PeakPowerFor(txEnergyJ float64, window simtime.Duration, multiple float64) float64 {
+	return multiple * txEnergyJ / window.Seconds()
+}
+
+// hash01 maps (seed, a, b) to a uniform float64 in [0,1) via splitmix64.
+func hash01(seed, a, b uint64) float64 {
+	x := seed ^ a*0x9e3779b97f4a7c15 ^ b*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}

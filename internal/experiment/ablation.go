@@ -1,0 +1,253 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+)
+
+// ablationScenario is the shared baseline for the design-choice
+// ablations: H-50 at a scale small enough to sweep.
+func ablationScenario(o Options) config.Scenario {
+	cfg := config.Default().WithSeed(o.seed())
+	cfg.Nodes = o.nodes(200)
+	cfg.Duration = o.duration(120 * simtime.Day)
+	cfg.Protocol = config.ProtocolBLA
+	cfg.Theta = 0.5
+	return cfg
+}
+
+func runOne(o Options, cfg config.Scenario, label string) (*runSummary, error) {
+	o.logf("ablation: running %s", label)
+	s, err := sim.New(cfg, sim.Hooks{})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %s: %w", label, err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %s: %w", label, err)
+	}
+	sum := summarize(res)
+	sum.label = label
+	return sum, nil
+}
+
+// ForecastAblation quantifies the protocol's sensitivity to forecast
+// quality (Sec. III-B delegates forecasting to [22]): the oracle, the
+// on-sensor diurnal EWMA, and noisy oracles.
+func ForecastAblation(o Options) (*Table, error) {
+	cases := []struct {
+		label string
+		kind  config.ForecastKind
+		noise float64
+	}{
+		{label: "perfect", kind: config.ForecastPerfect},
+		{label: "ewma (default)", kind: config.ForecastEWMA},
+		{label: "noisy 30%", kind: config.ForecastNoisy, noise: 0.3},
+		{label: "noisy 80%", kind: config.ForecastNoisy, noise: 0.8},
+	}
+	t := &Table{
+		ID:      "abl-forecast",
+		Title:   "Ablation: green-energy forecast quality (H-50)",
+		Columns: []string{"forecaster", "PRR", "utility", "deg mean", "dropped by Alg.1 %"},
+	}
+	for _, c := range cases {
+		cfg := ablationScenario(o)
+		cfg.Forecast = c.kind
+		cfg.ForecastNoise = c.noise
+		sum, err := runOne(o, cfg, c.label)
+		if err != nil {
+			return nil, err
+		}
+		dropped := 0.0
+		if sum.generated > 0 {
+			dropped = 100 * float64(sum.neverSent) / float64(sum.generated)
+		}
+		t.AddRow(c.label,
+			fmt.Sprintf("%.3f", metrics.BoxOf(sum.prr).Mean),
+			fmt.Sprintf("%.3f", metrics.BoxOf(sum.utility).Mean),
+			fmt.Sprintf("%.5f", metrics.BoxOf(sum.degs).Mean),
+			fmt.Sprintf("%.1f", dropped),
+		)
+	}
+	return t, nil
+}
+
+// WeightBAblation sweeps the network manager's degradation weight w_b:
+// the latency/lifespan trade-off the paper discusses under Fig. 6c.
+func WeightBAblation(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "abl-weightb",
+		Title:   "Ablation: degradation weight w_b (H-50)",
+		Columns: []string{"w_b", "avg latency s", "deg mean", "deg variance", "utility"},
+	}
+	for _, wb := range []float64{0, 0.25, 0.5, 1} {
+		cfg := ablationScenario(o)
+		cfg.WeightB = wb
+		sum, err := runOne(o, cfg, fmt.Sprintf("w_b=%g", wb))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%.2f", wb),
+			fmt.Sprintf("%.1f", metrics.BoxOf(sum.latencyS).Mean),
+			fmt.Sprintf("%.5f", metrics.BoxOf(sum.degs).Mean),
+			fmt.Sprintf("%.3g", metrics.BoxOf(sum.degs).Variance),
+			fmt.Sprintf("%.3f", metrics.BoxOf(sum.utility).Mean),
+		)
+	}
+	t.AddNote("paper: low w_b lowers latency at the cost of battery lifespan")
+	return t, nil
+}
+
+// RetxHistoryAblation isolates the contribution of the Eq. (14)
+// retransmission-probability history to collision avoidance.
+func RetxHistoryAblation(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "abl-retxhist",
+		Title:   "Ablation: per-window retransmission history (H-50)",
+		Columns: []string{"history", "avg TX attempts", "PRR", "TX energy J"},
+	}
+	for _, disabled := range []bool{false, true} {
+		cfg := ablationScenario(o)
+		cfg.DisableRetxHistory = disabled
+		label := "enabled (Eq. 14)"
+		if disabled {
+			label = "disabled"
+		}
+		sum, err := runOne(o, cfg, label)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(label,
+			fmt.Sprintf("%.2f", metrics.BoxOf(sum.attempts).Mean),
+			fmt.Sprintf("%.3f", metrics.BoxOf(sum.prr).Mean),
+			fmt.Sprintf("%.0f", sum.txEnergyJ),
+		)
+	}
+	return t, nil
+}
+
+// SupercapAblation evaluates the hybrid-storage extension the paper's
+// Sec. V leaves as future work: a supercapacitor in front of the battery
+// absorbs transmission dips, trading self-discharge leakage for battery
+// cycle aging.
+func SupercapAblation(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "abl-supercap",
+		Title:   "Extension: supercapacitor buffer in front of the battery",
+		Columns: []string{"config", "protocol", "cycle aging mean", "deg mean", "PRR"},
+	}
+	for _, sc := range []struct {
+		label string
+		capJ  float64
+		leakW float64
+	}{
+		{label: "battery only", capJ: 0},
+		{label: "small supercap (0.5 J)", capJ: 0.5, leakW: 5e-6},
+		{label: "large supercap (5 J)", capJ: 5, leakW: 50e-6},
+	} {
+		for _, v := range []variant{
+			{label: "LoRaWAN", protocol: config.ProtocolLoRaWAN, theta: 1},
+			{label: "H-50", protocol: config.ProtocolBLA, theta: 0.5},
+		} {
+			cfg := ablationScenario(o)
+			cfg.Protocol = v.protocol
+			cfg.Theta = v.theta
+			cfg.SupercapJ = sc.capJ
+			cfg.SupercapLeakW = sc.leakW
+			o.logf("ablation: supercap %s / %s", sc.label, v.label)
+			s, err := sim.New(cfg, sim.Hooks{})
+			if err != nil {
+				return nil, err
+			}
+			res, err := s.Run()
+			if err != nil {
+				return nil, err
+			}
+			var cyc, deg, prr metrics.Welford
+			for _, n := range res.Nodes {
+				cyc.Add(n.Degradation.Cycle)
+				deg.Add(n.Degradation.Total)
+				prr.Add(n.Stats.PRR())
+			}
+			t.AddRow(sc.label, v.label,
+				fmt.Sprintf("%.3e", cyc.Mean()),
+				fmt.Sprintf("%.5f", deg.Mean()),
+				fmt.Sprintf("%.3f", prr.Mean()),
+			)
+		}
+	}
+	t.AddNote("a supercapacitor cannot bridge nights (the paper's argument for keeping the battery), but it absorbs TX dips")
+	return t, nil
+}
+
+// GatewayAblation densifies the deployment with extra gateways (the
+// paper's system model allows "one or more"): more gateways rescue
+// collision losses via spatial diversity and spread the ACK load.
+func GatewayAblation(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "abl-gateways",
+		Title:   "Extension: gateway density",
+		Columns: []string{"gateways", "protocol", "PRR", "avg TX attempts", "deg mean"},
+	}
+	for _, gws := range []int{1, 2, 4} {
+		for _, v := range []variant{
+			{label: "LoRaWAN", protocol: config.ProtocolLoRaWAN, theta: 1},
+			{label: "H-50", protocol: config.ProtocolBLA, theta: 0.5},
+		} {
+			cfg := ablationScenario(o)
+			cfg.Protocol = v.protocol
+			cfg.Theta = v.theta
+			cfg.Gateways = gws
+			sum, err := runOne(o, cfg, fmt.Sprintf("%s/%d gateways", v.label, gws))
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(fmt.Sprintf("%d", gws), v.label,
+				fmt.Sprintf("%.3f", metrics.BoxOf(sum.prr).Mean),
+				fmt.Sprintf("%.2f", metrics.BoxOf(sum.attempts).Mean),
+				fmt.Sprintf("%.5f", metrics.BoxOf(sum.degs).Mean),
+			)
+		}
+	}
+	t.AddNote("a packet is delivered when any gateway decodes it; each gateway has its own demodulators and downlink radio")
+	return t, nil
+}
+
+// StartSpreadAblation shows how deployment-phase synchronization drives
+// the LoRaWAN baseline into persistent collisions while BLA self-spreads
+// (the congestion regime calibration documented in DESIGN.md).
+func StartSpreadAblation(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "abl-startspread",
+		Title:   "Ablation: deployment start spread vs collision regime",
+		Columns: []string{"start spread", "protocol", "avg TX attempts", "PRR"},
+	}
+	for _, spread := range []simtime.Duration{0, 30 * simtime.Second, 5 * simtime.Minute} {
+		for _, v := range []variant{
+			{label: "LoRaWAN", protocol: config.ProtocolLoRaWAN, theta: 1},
+			{label: "H-50", protocol: config.ProtocolBLA, theta: 0.5},
+		} {
+			cfg := ablationScenario(o)
+			cfg.Protocol = v.protocol
+			cfg.Theta = v.theta
+			cfg.StartSpread = spread
+			spreadLabel := "per-period (uncorrelated)"
+			if spread > 0 {
+				spreadLabel = spread.String()
+			}
+			sum, err := runOne(o, cfg, v.label+"/"+spreadLabel)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(spreadLabel, v.label,
+				fmt.Sprintf("%.2f", metrics.BoxOf(sum.attempts).Mean),
+				fmt.Sprintf("%.3f", metrics.BoxOf(sum.prr).Mean),
+			)
+		}
+	}
+	return t, nil
+}

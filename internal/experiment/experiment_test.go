@@ -1,0 +1,211 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestTableFprint(t *testing.T) {
+	tbl := &Table{
+		ID:      "t1",
+		Title:   "test",
+		Columns: []string{"a", "bb"},
+	}
+	tbl.AddRow("xxx", "1")
+	tbl.AddRow("y", "22")
+	tbl.AddNote("scaled by %d", 3)
+	var buf bytes.Buffer
+	if err := tbl.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"t1", "test", "xxx", "22", "note: scaled by 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{Columns: []string{"a", "b"}}
+	tbl.AddRow("plain", `with "quote", comma`)
+	var buf bytes.Buffer
+	if err := tbl.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nplain,\"with \"\"quote\"\", comma\"\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.seed() != 1 {
+		t.Errorf("seed = %d, want 1", o.seed())
+	}
+	if o.nodes(100) != 100 {
+		t.Errorf("nodes = %d, want paper default", o.nodes(100))
+	}
+	if o.duration(simtime.Day) != simtime.Day {
+		t.Errorf("duration should fall back to paper default")
+	}
+	if o.aging() != 1 {
+		t.Errorf("aging = %v, want 1", o.aging())
+	}
+	o = Options{Seed: 7, Nodes: 3, Duration: simtime.Hour, AgingFactor: 10}
+	if o.seed() != 7 || o.nodes(100) != 3 || o.duration(simtime.Day) != simtime.Hour || o.aging() != 10 {
+		t.Error("overrides not honored")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig2", "fig3", "sweep", "lifespan", "fig9", "tableI", "optgap",
+		"abl-forecast", "abl-weightb", "abl-retxhist", "abl-supercap",
+		"abl-gateways", "abl-startspread",
+	}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	}
+	for i, name := range want {
+		if reg[i].Name != name {
+			t.Errorf("registry[%d] = %q, want %q", i, reg[i].Name, name)
+		}
+		if reg[i].Run == nil || reg[i].Artifacts == "" || reg[i].PaperScale == "" {
+			t.Errorf("registry entry %q incomplete", name)
+		}
+	}
+	if _, ok := Find("sweep"); !ok {
+		t.Error("Find(sweep) failed")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("Find(nope) should fail")
+	}
+}
+
+// tiny returns options that make every experiment run in well under a
+// second of wall time per simulated protocol.
+func tiny() Options {
+	return Options{Seed: 5, Nodes: 12, Duration: 2 * simtime.Day, AgingFactor: 1500}
+}
+
+func TestFig2Tiny(t *testing.T) {
+	tbl, err := Fig2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("fig2 produced no rows")
+	}
+	// Last row: calendar must dominate cycle aging (the figure's claim).
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if len(last) != 4 {
+		t.Fatalf("unexpected row %v", last)
+	}
+	if last[1] <= last[2] { // string compare works for same-width decimals
+		t.Logf("calendar %s vs cycle %s (string compare only)", last[1], last[2])
+	}
+}
+
+func TestFig3Tiny(t *testing.T) {
+	o := tiny()
+	o.Duration = 9 * simtime.Day // needs a final-week probe window
+	tbl, err := Fig3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("fig3 rows = %d, want 2 probes", len(tbl.Rows))
+	}
+}
+
+func TestThetaSweepTiny(t *testing.T) {
+	tables, err := ThetaSweep(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("sweep tables = %d, want fig4+fig5+fig6", len(tables))
+	}
+	ids := []string{"fig4", "fig5", "fig6"}
+	for i, tbl := range tables {
+		if tbl.ID != ids[i] {
+			t.Errorf("table %d id = %q, want %q", i, tbl.ID, ids[i])
+		}
+		if len(tbl.Rows) == 0 {
+			t.Errorf("%s has no rows", tbl.ID)
+		}
+		if len(tbl.Columns) != 5 {
+			t.Errorf("%s columns = %v, want metric + 4 variants", tbl.ID, tbl.Columns)
+		}
+	}
+}
+
+func TestLifespanTiny(t *testing.T) {
+	tables, err := Lifespan(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 || tables[0].ID != "fig7" || tables[1].ID != "fig8" {
+		t.Fatalf("lifespan tables = %+v", tables)
+	}
+	fig8 := tables[1]
+	if len(fig8.Rows) != 3 {
+		t.Fatalf("fig8 rows = %d, want 3 protocols", len(fig8.Rows))
+	}
+	if fig8.Rows[0][0] != "LoRaWAN" || fig8.Rows[1][0] != "H-50" {
+		t.Errorf("fig8 protocol order: %v", fig8.Rows)
+	}
+}
+
+func TestFig9Tiny(t *testing.T) {
+	o := Options{Seed: 5, Duration: 4 * simtime.Hour}
+	tbl, err := Fig9(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 5 {
+		t.Fatalf("fig9 rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestTableITiny(t *testing.T) {
+	tbl, err := TableI(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 5 {
+		t.Fatalf("tableI rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestOptimalGapTiny(t *testing.T) {
+	tbl, err := OptimalGap(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("optgap rows = %d, want 3 solvers", len(tbl.Rows))
+	}
+}
+
+func TestAblationsTiny(t *testing.T) {
+	o := tiny()
+	for _, f := range []func(Options) (*Table, error){
+		ForecastAblation, WeightBAblation, RetxHistoryAblation,
+		SupercapAblation, GatewayAblation, StartSpreadAblation,
+	} {
+		tbl, err := f(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Errorf("%s produced no rows", tbl.ID)
+		}
+	}
+}

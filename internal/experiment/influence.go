@@ -1,0 +1,101 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+)
+
+// Fig3 regenerates the paper's Fig. 3 "degradation influence": how a
+// node's normalized degradation w_u shifts its forecast-window choices.
+// The paper plots two probe nodes over two sampling periods; a
+// single-pair probe is noisy at network scale, so this regeneration
+// aggregates the same contrast over the most- and least-degraded
+// quartiles of the network, split into energy-rich daylight hours
+// (harvest covers the transmission: little reason to defer) and night
+// hours (every window drains the battery). Paper scale: 100 nodes, the
+// final two weeks of a 90-day run.
+func Fig3(o Options) (*Table, error) {
+	cfg := config.Default().WithSeed(o.seed())
+	cfg.Nodes = o.nodes(100)
+	cfg.Duration = o.duration(90 * simtime.Day)
+	cfg.Protocol = config.ProtocolBLA
+	cfg.Theta = 0.5
+
+	type acc struct {
+		daySum, dayN     float64
+		nightSum, nightN float64
+	}
+	decisions := make([]acc, cfg.Nodes)
+	observeFrom := simtime.Time(cfg.Duration - 14*simtime.Day)
+	if observeFrom < 0 {
+		observeFrom = 0
+	}
+	hooks := sim.Hooks{OnDecision: func(nodeID int, genAt simtime.Time, _ int, window int, drop bool) {
+		if drop || genAt < observeFrom {
+			return
+		}
+		a := &decisions[nodeID]
+		switch h := genAt.TimeOfDay() / simtime.Hour; {
+		case h >= 10 && h < 15: // solid daylight
+			a.daySum += float64(window)
+			a.dayN++
+		case h >= 22 || h < 4: // night
+			a.nightSum += float64(window)
+			a.nightN++
+		}
+	}}
+
+	o.logf("fig3: H-50 %d nodes, %v", cfg.Nodes, cfg.Duration)
+	s, err := sim.New(cfg, hooks)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+
+	// Rank nodes by final ground-truth degradation.
+	order := make([]int, len(res.Nodes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return res.Nodes[order[a]].Degradation.Total < res.Nodes[order[b]].Degradation.Total
+	})
+	quartile := max(1, len(order)/4)
+
+	aggregate := func(ids []int) (day, night string) {
+		var d, dn, n, nn float64
+		for _, id := range ids {
+			d += decisions[id].daySum
+			dn += decisions[id].dayN
+			n += decisions[id].nightSum
+			nn += decisions[id].nightN
+		}
+		fmtAvg := func(sum, cnt float64) string {
+			if cnt == 0 {
+				return "n/a"
+			}
+			return fmt.Sprintf("%.2f", sum/cnt)
+		}
+		return fmtAvg(d, dn), fmtAvg(n, nn)
+	}
+
+	t := &Table{
+		ID:      "fig3",
+		Title:   "Degradation influence on forecast window selection (final 2 weeks)",
+		Columns: []string{"node group", "avg window (energy-rich hours)", "avg window (night)"},
+	}
+	loDay, loNight := aggregate(order[:quartile])
+	hiDay, hiNight := aggregate(order[len(order)-quartile:])
+	t.AddRow("least degraded quartile", loDay, loNight)
+	t.AddRow("most degraded quartile", hiDay, hiNight)
+	t.AddNote("paper Fig. 3: with abundant energy both groups pick an early window; when harvest cannot cover the TX, degraded nodes defer")
+	t.AddNote("w_u compresses toward 1 as shared calendar aging dominates, so group contrasts shrink over a deployment's life")
+	return t, nil
+}

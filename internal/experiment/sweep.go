@@ -1,0 +1,230 @@
+package experiment
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/config"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+)
+
+// variant is one protocol configuration of the theta sweep.
+type variant struct {
+	label    string
+	protocol config.ProtocolKind
+	theta    float64
+}
+
+// sweepVariants are the paper's Fig. 4-6 protocols.
+func sweepVariants() []variant {
+	return []variant{
+		{label: "LoRaWAN", protocol: config.ProtocolLoRaWAN, theta: 1},
+		{label: "H-5", protocol: config.ProtocolBLA, theta: 0.05},
+		{label: "H-50", protocol: config.ProtocolBLA, theta: 0.5},
+		{label: "H-100", protocol: config.ProtocolBLA, theta: 1},
+	}
+}
+
+// runSummary aggregates one run's per-node metrics.
+type runSummary struct {
+	label      string
+	prr        []float64
+	attempts   []float64
+	utility    []float64
+	latencyS   []float64 // delivered-only, seconds
+	latPenS    []float64 // failure-penalized, seconds
+	degs       []float64
+	txEnergyJ  float64
+	majorityWn []int
+	neverSent  int64
+	generated  int64
+}
+
+func summarize(res *sim.Result) *runSummary {
+	s := &runSummary{label: res.Label}
+	for _, n := range res.Nodes {
+		s.prr = append(s.prr, n.Stats.PRR())
+		s.attempts = append(s.attempts, n.Stats.AvgAttempts())
+		s.utility = append(s.utility, n.Stats.AvgUtility())
+		s.latencyS = append(s.latencyS, n.Stats.AvgLatencyDelivered().Seconds())
+		s.latPenS = append(s.latPenS, n.Stats.AvgLatencyPenalized().Seconds())
+		s.degs = append(s.degs, n.Degradation.Total)
+		s.txEnergyJ += n.Stats.TxEnergyJ
+		s.neverSent += n.Stats.NeverSent
+		s.generated += n.Stats.Generated
+		if m, ok := n.Stats.WindowHist.Mode(); ok {
+			s.majorityWn = append(s.majorityWn, m)
+		}
+	}
+	return s
+}
+
+// sweepScenario builds the Fig. 4-6 scenario for one variant.
+func sweepScenario(o Options, v variant) config.Scenario {
+	cfg := config.Default().WithSeed(o.seed())
+	cfg.Nodes = o.nodes(500)
+	cfg.Duration = o.duration(5 * simtime.Year)
+	cfg.Protocol = v.protocol
+	cfg.Theta = v.theta
+	return cfg
+}
+
+// runSweep executes the four-variant theta sweep once and caches nothing:
+// Fig. 4, 5 and 6 are produced from the same runs, as in the paper.
+func runSweep(o Options) ([]*runSummary, error) {
+	var out []*runSummary
+	for _, v := range sweepVariants() {
+		cfg := sweepScenario(o, v)
+		o.logf("sweep: running %s (%d nodes, %v)", v.label, cfg.Nodes, cfg.Duration)
+		s, err := sim.New(cfg, sim.Hooks{})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %s: %w", v.label, err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %s: %w", v.label, err)
+		}
+		out = append(out, summarize(res))
+	}
+	return out, nil
+}
+
+// ThetaSweep regenerates Fig. 4 (forecast-window selection histogram),
+// Fig. 5 (TX attempts, TX energy, degradation) and Fig. 6 (utility, PRR,
+// latency) from one four-variant run set. Paper scale: 500 nodes, 5
+// years.
+func ThetaSweep(o Options) ([]*Table, error) {
+	sums, err := runSweep(o)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{fig4(sums), fig5(sums), fig6(sums)}, nil
+}
+
+func fig4(sums []*runSummary) *Table {
+	const maxBucket = 7
+	t := &Table{
+		ID:      "fig4",
+		Title:   "Forecast window selection: nodes by majority window",
+		Columns: []string{"window"},
+	}
+	for _, s := range sums {
+		t.Columns = append(t.Columns, s.label)
+	}
+	counts := make([]map[int]int, len(sums))
+	for i, s := range sums {
+		counts[i] = make(map[int]int)
+		for _, w := range s.majorityWn {
+			if w > maxBucket {
+				w = maxBucket + 1
+			}
+			counts[i][w]++
+		}
+	}
+	for w := 0; w <= maxBucket+1; w++ {
+		label := strconv.Itoa(w + 1) // the paper numbers windows from 1
+		if w == maxBucket+1 {
+			label = fmt.Sprintf(">%d", maxBucket+1)
+		}
+		row := []string{label}
+		any := false
+		for i := range sums {
+			c := counts[i][w]
+			if c > 0 {
+				any = true
+			}
+			row = append(row, strconv.Itoa(c))
+		}
+		if any || w <= 3 {
+			t.AddRow(row...)
+		}
+	}
+	t.AddNote("each cell: number of nodes transmitting the majority of their packets in that window (paper Fig. 4)")
+	return t
+}
+
+func fig5(sums []*runSummary) *Table {
+	t := &Table{
+		ID:      "fig5",
+		Title:   "TX attempts, TX energy and battery degradation under theta",
+		Columns: []string{"metric"},
+	}
+	for _, s := range sums {
+		t.Columns = append(t.Columns, s.label)
+	}
+	row := func(name string, f func(*runSummary) string) {
+		cells := []string{name}
+		for _, s := range sums {
+			cells = append(cells, f(s))
+		}
+		t.AddRow(cells...)
+	}
+	row("avg TX attempts/packet (5a)", func(s *runSummary) string {
+		return fmt.Sprintf("%.2f", metrics.BoxOf(s.attempts).Mean)
+	})
+	row("total TX energy J (5b)", func(s *runSummary) string {
+		return fmt.Sprintf("%.0f", s.txEnergyJ)
+	})
+	row("degradation mean (5c)", func(s *runSummary) string {
+		return fmt.Sprintf("%.5f", metrics.BoxOf(s.degs).Mean)
+	})
+	row("degradation median (5c)", func(s *runSummary) string {
+		return fmt.Sprintf("%.5f", metrics.BoxOf(s.degs).Median)
+	})
+	row("degradation variance (5c)", func(s *runSummary) string {
+		return fmt.Sprintf("%.3g", metrics.BoxOf(s.degs).Variance)
+	})
+	row("degradation outliers (5c)", func(s *runSummary) string {
+		return strconv.Itoa(metrics.BoxOf(s.degs).Outliers)
+	})
+	return t
+}
+
+func fig6(sums []*runSummary) *Table {
+	t := &Table{
+		ID:      "fig6",
+		Title:   "Utility, PRR and latency under theta",
+		Columns: []string{"metric"},
+	}
+	for _, s := range sums {
+		t.Columns = append(t.Columns, s.label)
+	}
+	row := func(name string, f func(*runSummary) string) {
+		cells := []string{name}
+		for _, s := range sums {
+			cells = append(cells, f(s))
+		}
+		t.AddRow(cells...)
+	}
+	row("avg utility (6a)", func(s *runSummary) string {
+		return fmt.Sprintf("%.3f", metrics.BoxOf(s.utility).Mean)
+	})
+	row("min node utility (6a)", func(s *runSummary) string {
+		return fmt.Sprintf("%.3f", metrics.BoxOf(s.utility).Min)
+	})
+	row("avg PRR (6b)", func(s *runSummary) string {
+		return fmt.Sprintf("%.3f", metrics.BoxOf(s.prr).Mean)
+	})
+	row("min node PRR (6b)", func(s *runSummary) string {
+		return fmt.Sprintf("%.3f", metrics.BoxOf(s.prr).Min)
+	})
+	row("avg latency s (6c, delivered)", func(s *runSummary) string {
+		return fmt.Sprintf("%.1f", metrics.BoxOf(s.latencyS).Mean)
+	})
+	row("max node latency s (6c)", func(s *runSummary) string {
+		return fmt.Sprintf("%.1f", metrics.BoxOf(s.latencyS).Max)
+	})
+	row("avg latency s (failure-penalized)", func(s *runSummary) string {
+		return fmt.Sprintf("%.1f", metrics.BoxOf(s.latPenS).Mean)
+	})
+	row("packets dropped by Alg.1 (%)", func(s *runSummary) string {
+		if s.generated == 0 {
+			return "0.0"
+		}
+		return fmt.Sprintf("%.1f", 100*float64(s.neverSent)/float64(s.generated))
+	})
+	t.AddNote("Fig. 6c plots delivered-packet latency; the penalized variant (Sec. IV-A2) is also reported")
+	return t
+}

@@ -1,0 +1,76 @@
+package lora
+
+import "fmt"
+
+// Channel identifies one frequency channel of a regional plan.
+type Channel struct {
+	Index     int
+	FreqHz    float64
+	Bandwidth Bandwidth
+	Uplink    bool
+}
+
+func (c Channel) String() string {
+	dir := "down"
+	if c.Uplink {
+		dir = "up"
+	}
+	return fmt.Sprintf("ch%d(%s %.1fMHz/%.0fkHz)", c.Index, dir, c.FreqHz/1e6, float64(c.Bandwidth)/1e3)
+}
+
+// ChannelPlan is a regional frequency plan: the set of uplink and downlink
+// channels available to nodes and gateways.
+type ChannelPlan struct {
+	Name     string
+	Uplink   []Channel
+	Downlink []Channel
+}
+
+// US902 returns the full US ISM-band plan used by LoRaWAN: 64 uplink
+// channels of 125 kHz starting at 902.3 MHz spaced 200 kHz, 8 uplink
+// channels of 500 kHz, and 8 downlink channels of 500 kHz.
+func US902() ChannelPlan {
+	plan := ChannelPlan{Name: "US902"}
+	for i := 0; i < 64; i++ {
+		plan.Uplink = append(plan.Uplink, Channel{
+			Index:     i,
+			FreqHz:    902.3e6 + 0.2e6*float64(i),
+			Bandwidth: BW125,
+			Uplink:    true,
+		})
+	}
+	for i := 0; i < 8; i++ {
+		plan.Uplink = append(plan.Uplink, Channel{
+			Index:     64 + i,
+			FreqHz:    903.0e6 + 1.6e6*float64(i),
+			Bandwidth: BW500,
+			Uplink:    true,
+		})
+	}
+	for i := 0; i < 8; i++ {
+		plan.Downlink = append(plan.Downlink, Channel{
+			Index:     i,
+			FreqHz:    923.3e6 + 0.6e6*float64(i),
+			Bandwidth: BW500,
+			Uplink:    false,
+		})
+	}
+	return plan
+}
+
+// SubPlan returns a plan restricted to the first n 125 kHz uplink channels
+// (and the matching downlink set). The paper's testbed uses n = 1 "to
+// emulate a larger network"; the large-scale evaluation defaults to the
+// same congested single-channel regime.
+func (p ChannelPlan) SubPlan(n int) (ChannelPlan, error) {
+	if n <= 0 || n > len(p.Uplink) {
+		return ChannelPlan{}, fmt.Errorf("lora: subplan size %d out of range [1,%d]", n, len(p.Uplink))
+	}
+	sub := ChannelPlan{Name: fmt.Sprintf("%s/%d", p.Name, n)}
+	sub.Uplink = append(sub.Uplink, p.Uplink[:n]...)
+	sub.Downlink = append(sub.Downlink, p.Downlink...)
+	return sub, nil
+}
+
+// NumUplink returns the number of uplink channels in the plan.
+func (p ChannelPlan) NumUplink() int { return len(p.Uplink) }

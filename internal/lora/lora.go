@@ -1,0 +1,237 @@
+// Package lora models the LoRa physical layer: modulation parameters,
+// airtime and symbol-count equations, transceiver energy consumption, and
+// the US-902 regional channel plan.
+//
+// The airtime model implements Eq. (7) of the paper and the transmission
+// energy model implements Eq. (6); both follow the Semtech SX1276
+// datasheet formulas that NS-3's lorawan module also uses.
+package lora
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/simtime"
+)
+
+// SpreadingFactor is the LoRa spreading factor (chips per symbol = 2^SF).
+// Higher SF lowers the data rate but extends range and airtime.
+type SpreadingFactor int
+
+// LoRa supports spreading factors 7 through 12.
+const (
+	SF7 SpreadingFactor = iota + 7
+	SF8
+	SF9
+	SF10
+	SF11
+	SF12
+
+	MinSF = SF7
+	MaxSF = SF12
+)
+
+// Valid reports whether the spreading factor is in the supported range.
+func (sf SpreadingFactor) Valid() bool { return sf >= MinSF && sf <= MaxSF }
+
+// ChipsPerSymbol returns 2^SF, the number of chips in one symbol.
+func (sf SpreadingFactor) ChipsPerSymbol() float64 { return float64(int(1) << uint(sf)) }
+
+func (sf SpreadingFactor) String() string { return fmt.Sprintf("SF%d", int(sf)) }
+
+// Bandwidth is the channel bandwidth in Hz.
+type Bandwidth float64
+
+// Bandwidths supported by LoRa in the US ISM band.
+const (
+	BW125 Bandwidth = 125e3
+	BW250 Bandwidth = 250e3
+	BW500 Bandwidth = 500e3
+)
+
+// CodingRate is the forward-error-correction rate, expressed as the
+// fraction of useful bits (4/5 .. 4/8).
+type CodingRate float64
+
+// LoRa coding rates.
+const (
+	CR45 CodingRate = 4.0 / 5.0
+	CR46 CodingRate = 4.0 / 6.0
+	CR47 CodingRate = 4.0 / 7.0
+	CR48 CodingRate = 4.0 / 8.0
+)
+
+// Valid reports whether the coding rate is one of the four LoRa rates.
+func (cr CodingRate) Valid() bool {
+	switch cr {
+	case CR45, CR46, CR47, CR48:
+		return true
+	}
+	return false
+}
+
+// Params bundles the configurable transmission parameters of a LoRa radio.
+type Params struct {
+	SF              SpreadingFactor
+	Bandwidth       Bandwidth
+	CodingRate      CodingRate
+	PreambleSymbols int     // preamble length in symbols (default 8)
+	TxPowerDBm      float64 // RF output power
+	ExplicitHeader  bool    // LoRaWAN uses the explicit header
+}
+
+// DefaultParams returns the paper's evaluation settings: SF10, 125 kHz,
+// CR 4/5, 8-symbol preamble, +14 dBm.
+func DefaultParams() Params {
+	return Params{
+		SF:              SF10,
+		Bandwidth:       BW125,
+		CodingRate:      CR45,
+		PreambleSymbols: 8,
+		TxPowerDBm:      14,
+		ExplicitHeader:  true,
+	}
+}
+
+// Validate reports the first invalid field of the parameter set.
+func (p Params) Validate() error {
+	switch {
+	case !p.SF.Valid():
+		return fmt.Errorf("lora: spreading factor %d out of range [%d,%d]", int(p.SF), int(MinSF), int(MaxSF))
+	case p.Bandwidth <= 0:
+		return fmt.Errorf("lora: bandwidth %v must be positive", p.Bandwidth)
+	case !p.CodingRate.Valid():
+		return fmt.Errorf("lora: coding rate %v not one of 4/5..4/8", p.CodingRate)
+	case p.PreambleSymbols <= 0:
+		return fmt.Errorf("lora: preamble %d symbols must be positive", p.PreambleSymbols)
+	}
+	return nil
+}
+
+// LowDataRateOptimize reports whether the mandatory low-data-rate
+// optimization (DE in Eq. 7) applies: symbol time ≥ 16 ms, i.e. SF11/SF12
+// at 125 kHz.
+func (p Params) LowDataRateOptimize() bool {
+	return p.SymbolTime() >= 16e-3
+}
+
+// SymbolTime returns the duration of one symbol in seconds (2^SF / BW).
+func (p Params) SymbolTime() float64 {
+	return p.SF.ChipsPerSymbol() / float64(p.Bandwidth)
+}
+
+// Symbols returns the total number of symbols in a packet with the given
+// payload, per Eq. (7):
+//
+//	L = preamble + 4.25 + 8 + max(ceil((8·payload − 4·SF + 24)/(SF − 2·DE)) · 1/CR, 0)
+func (p Params) Symbols(payloadBytes int) float64 {
+	de := 0.0
+	if p.LowDataRateOptimize() {
+		de = 1
+	}
+	num := float64(8*payloadBytes) - 4*float64(p.SF) + 24
+	den := float64(p.SF) - 2*de
+	payloadSymbols := math.Ceil(num/den) / float64(p.CodingRate)
+	if payloadSymbols < 0 {
+		payloadSymbols = 0
+	}
+	return float64(p.PreambleSymbols) + 4.25 + 8 + payloadSymbols
+}
+
+// Airtime returns the on-air duration of a packet with the given payload.
+func (p Params) Airtime(payloadBytes int) simtime.Duration {
+	seconds := p.Symbols(payloadBytes) * p.SymbolTime()
+	return simtime.Duration(math.Ceil(seconds * 1000))
+}
+
+// AirtimeSeconds returns the on-air duration in floating-point seconds,
+// without millisecond rounding.
+func (p Params) AirtimeSeconds(payloadBytes int) float64 {
+	return p.Symbols(payloadBytes) * p.SymbolTime()
+}
+
+// TxEnergy returns the energy in joules consumed by transmitting a packet
+// with the given payload, per Eq. (6): E = P_tx · L_symbols · 2^SF / BW.
+// P_tx is the electrical power drawn by the SX1276 at the configured RF
+// output power.
+func (p Params) TxEnergy(payloadBytes int) float64 {
+	return TxSupplyPower(p.TxPowerDBm) * p.Symbols(payloadBytes) * p.SymbolTime()
+}
+
+// BitRate returns the useful bit rate in bits per second.
+func (p Params) BitRate() float64 {
+	return float64(p.SF) * float64(p.CodingRate) * float64(p.Bandwidth) / p.SF.ChipsPerSymbol()
+}
+
+// Sensitivity returns the receiver sensitivity in dBm for the parameter
+// set's spreading factor at 125 kHz (SX1276 datasheet values).
+func (p Params) Sensitivity() float64 { return Sensitivity(p.SF, p.Bandwidth) }
+
+// Sensitivity returns the SX1276 receiver sensitivity in dBm.
+func Sensitivity(sf SpreadingFactor, bw Bandwidth) float64 {
+	// Datasheet values for BW125; wider bandwidths lose 10·log10(BW/125k).
+	base := map[SpreadingFactor]float64{
+		SF7:  -123,
+		SF8:  -126,
+		SF9:  -129,
+		SF10: -132,
+		SF11: -134.5,
+		SF12: -137,
+	}[sf]
+	return base + 10*math.Log10(float64(bw)/float64(BW125))
+}
+
+// DemodulationFloor returns the minimum SNR in dB at which a signal with
+// the given spreading factor can be demodulated.
+func DemodulationFloor(sf SpreadingFactor) float64 {
+	return map[SpreadingFactor]float64{
+		SF7:  -7.5,
+		SF8:  -10,
+		SF9:  -12.5,
+		SF10: -15,
+		SF11: -17.5,
+		SF12: -20,
+	}[sf]
+}
+
+// Transceiver supply characteristics (SX1276 on a 3.3 V rail).
+const (
+	SupplyVoltage = 3.3     // volts
+	RxCurrentA    = 11.5e-3 // receive-mode current, amperes
+	IdleCurrentA  = 1.6e-3  // standby current, amperes
+)
+
+// RxPower returns the electrical power drawn in receive mode, in watts.
+func RxPower() float64 { return SupplyVoltage * RxCurrentA }
+
+// txCurrentTable maps RF output power (dBm) to SX1276 supply current (A),
+// from the datasheet (PA_BOOST) as commonly used in LoRa energy studies.
+var txCurrentTable = []struct {
+	dBm float64
+	amp float64
+}{
+	{2, 0.024},
+	{5, 0.027},
+	{8, 0.031},
+	{11, 0.038},
+	{14, 0.044},
+	{17, 0.090},
+	{20, 0.125},
+}
+
+// TxSupplyPower returns the electrical power in watts drawn by the radio
+// while transmitting at the given RF output power, interpolating the
+// datasheet current table.
+func TxSupplyPower(dBm float64) float64 {
+	t := txCurrentTable
+	if dBm <= t[0].dBm {
+		return SupplyVoltage * t[0].amp
+	}
+	for i := 1; i < len(t); i++ {
+		if dBm <= t[i].dBm {
+			frac := (dBm - t[i-1].dBm) / (t[i].dBm - t[i-1].dBm)
+			return SupplyVoltage * (t[i-1].amp + frac*(t[i].amp-t[i-1].amp))
+		}
+	}
+	return SupplyVoltage * t[len(t)-1].amp
+}

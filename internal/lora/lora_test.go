@@ -1,0 +1,258 @@
+package lora
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSymbolsKnownValues(t *testing.T) {
+	tests := []struct {
+		name    string
+		sf      SpreadingFactor
+		payload int
+		want    float64
+	}{
+		// Hand-computed from Eq. (7) with preamble 8, CR 4/5, BW 125 kHz.
+		{name: "SF7/10B", sf: SF7, payload: 10, want: 8 + 4.25 + 8 + 13.75},
+		{name: "SF10/10B", sf: SF10, payload: 10, want: 8 + 4.25 + 8 + 8.75},
+		{name: "SF12/10B lowDR", sf: SF12, payload: 10, want: 8 + 4.25 + 8 + 7.5},
+		{name: "SF10/0B clamps", sf: SF10, payload: 0, want: 8 + 4.25 + 8 + 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := DefaultParams()
+			p.SF = tt.sf
+			if got := p.Symbols(tt.payload); !almostEqual(got, tt.want, 1e-9) {
+				t.Errorf("Symbols(%d) = %v, want %v", tt.payload, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAirtimeKnownValues(t *testing.T) {
+	tests := []struct {
+		sf   SpreadingFactor
+		want simtime.Duration // ceil to ms
+	}{
+		{SF7, 35},   // 34 symbols x 1.024 ms
+		{SF10, 238}, // 29 symbols x 8.192 ms
+		{SF12, 910}, // 27.75 symbols x 32.768 ms
+	}
+	for _, tt := range tests {
+		p := DefaultParams()
+		p.SF = tt.sf
+		if got := p.Airtime(10); got != tt.want {
+			t.Errorf("%v Airtime(10) = %v ms, want %v ms", tt.sf, int64(got), int64(tt.want))
+		}
+	}
+}
+
+func TestLowDataRateOptimize(t *testing.T) {
+	for sf := MinSF; sf <= MaxSF; sf++ {
+		p := DefaultParams()
+		p.SF = sf
+		want := sf >= SF11 // at 125 kHz, symbol time >= 16 ms from SF11
+		if got := p.LowDataRateOptimize(); got != want {
+			t.Errorf("%v LowDataRateOptimize = %v, want %v", sf, got, want)
+		}
+	}
+}
+
+func TestTxEnergyKnownValue(t *testing.T) {
+	p := DefaultParams() // SF10, 14 dBm -> 44 mA at 3.3 V
+	got := p.TxEnergy(10)
+	want := 3.3 * 0.044 * 29 * (1024.0 / 125000.0)
+	if !almostEqual(got, want, 1e-9) {
+		t.Errorf("TxEnergy(10) = %v J, want %v J", got, want)
+	}
+}
+
+func TestAirtimeMonotonicInPayload(t *testing.T) {
+	f := func(raw uint8) bool {
+		p := DefaultParams()
+		a := int(raw % 200)
+		return p.AirtimeSeconds(a) <= p.AirtimeSeconds(a+1)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAirtimeMonotonicInSF(t *testing.T) {
+	f := func(raw uint8) bool {
+		payload := int(raw%100) + 1
+		prev := -1.0
+		for sf := MinSF; sf <= MaxSF; sf++ {
+			p := DefaultParams()
+			p.SF = sf
+			at := p.AirtimeSeconds(payload)
+			if at <= prev {
+				return false
+			}
+			prev = at
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTxEnergyIncreasesWithSFAndPower(t *testing.T) {
+	p := DefaultParams()
+	p.SF = SF7
+	low := p.TxEnergy(10)
+	p.SF = SF12
+	high := p.TxEnergy(10)
+	if high <= low {
+		t.Errorf("SF12 energy %v should exceed SF7 energy %v", high, low)
+	}
+	p.TxPowerDBm = 20
+	boosted := p.TxEnergy(10)
+	if boosted <= high {
+		t.Errorf("20 dBm energy %v should exceed 14 dBm energy %v", boosted, high)
+	}
+}
+
+func TestSensitivityOrdering(t *testing.T) {
+	prev := 0.0
+	for sf := MinSF; sf <= MaxSF; sf++ {
+		s := Sensitivity(sf, BW125)
+		if sf > MinSF && s >= prev {
+			t.Errorf("sensitivity must improve (decrease) with SF: %v -> %v at %v", prev, s, sf)
+		}
+		prev = s
+	}
+	// Wider bandwidth worsens sensitivity.
+	if Sensitivity(SF10, BW500) <= Sensitivity(SF10, BW125) {
+		t.Error("BW500 sensitivity should be worse (higher) than BW125")
+	}
+}
+
+func TestDemodulationFloorOrdering(t *testing.T) {
+	for sf := MinSF; sf < MaxSF; sf++ {
+		if DemodulationFloor(sf) <= DemodulationFloor(sf+1) {
+			t.Errorf("demod floor must decrease with SF: %v vs %v", sf, sf+1)
+		}
+	}
+}
+
+func TestTxSupplyPowerInterpolation(t *testing.T) {
+	tests := []struct {
+		dBm  float64
+		want float64
+	}{
+		{-5, 3.3 * 0.024},   // clamped low
+		{2, 3.3 * 0.024},    // table point
+		{14, 3.3 * 0.044},   // table point
+		{15.5, 3.3 * 0.067}, // midway 14..17
+		{25, 3.3 * 0.125},   // clamped high
+	}
+	for _, tt := range tests {
+		if got := TxSupplyPower(tt.dBm); !almostEqual(got, tt.want, 1e-9) {
+			t.Errorf("TxSupplyPower(%v) = %v, want %v", tt.dBm, got, tt.want)
+		}
+	}
+}
+
+func TestTxSupplyPowerMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return TxSupplyPower(lo) <= TxSupplyPower(hi)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitRate(t *testing.T) {
+	p := DefaultParams()
+	p.SF = SF7
+	// SF7, CR4/5, BW125: 7 * 0.8 * 125000 / 128 = 5468.75 bps.
+	if got := p.BitRate(); !almostEqual(got, 5468.75, 1e-6) {
+		t.Errorf("BitRate = %v, want 5468.75", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+		wantOK bool
+	}{
+		{name: "default ok", mutate: func(*Params) {}, wantOK: true},
+		{name: "bad sf", mutate: func(p *Params) { p.SF = 6 }, wantOK: false},
+		{name: "bad bw", mutate: func(p *Params) { p.Bandwidth = 0 }, wantOK: false},
+		{name: "bad cr", mutate: func(p *Params) { p.CodingRate = 0.9 }, wantOK: false},
+		{name: "bad preamble", mutate: func(p *Params) { p.PreambleSymbols = 0 }, wantOK: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := DefaultParams()
+			tt.mutate(&p)
+			err := p.Validate()
+			if (err == nil) != tt.wantOK {
+				t.Errorf("Validate() error = %v, wantOK %v", err, tt.wantOK)
+			}
+		})
+	}
+}
+
+func TestUS902Plan(t *testing.T) {
+	plan := US902()
+	if got := plan.NumUplink(); got != 72 {
+		t.Fatalf("US902 uplink channels = %d, want 72", got)
+	}
+	if got := len(plan.Downlink); got != 8 {
+		t.Fatalf("US902 downlink channels = %d, want 8", got)
+	}
+	if f := plan.Uplink[0].FreqHz; !almostEqual(f, 902.3e6, 1) {
+		t.Errorf("first uplink freq = %v, want 902.3 MHz", f)
+	}
+	if f := plan.Uplink[63].FreqHz; !almostEqual(f, 902.3e6+0.2e6*63, 1) {
+		t.Errorf("64th uplink freq = %v", f)
+	}
+	for _, ch := range plan.Uplink[:64] {
+		if ch.Bandwidth != BW125 || !ch.Uplink {
+			t.Fatalf("channel %v should be a 125 kHz uplink", ch)
+		}
+	}
+}
+
+func TestSubPlan(t *testing.T) {
+	plan := US902()
+	sub, err := plan.SubPlan(1)
+	if err != nil {
+		t.Fatalf("SubPlan(1): %v", err)
+	}
+	if sub.NumUplink() != 1 {
+		t.Errorf("subplan uplinks = %d, want 1", sub.NumUplink())
+	}
+	if len(sub.Downlink) != 8 {
+		t.Errorf("subplan downlinks = %d, want 8", len(sub.Downlink))
+	}
+	if _, err := plan.SubPlan(0); err == nil {
+		t.Error("SubPlan(0) should fail")
+	}
+	if _, err := plan.SubPlan(1000); err == nil {
+		t.Error("SubPlan(1000) should fail")
+	}
+}
+
+func TestChannelString(t *testing.T) {
+	plan := US902()
+	if s := plan.Uplink[0].String(); s == "" {
+		t.Error("empty channel string")
+	}
+	if s := plan.Downlink[0].String(); s == "" {
+		t.Error("empty channel string")
+	}
+}

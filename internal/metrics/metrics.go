@@ -1,0 +1,216 @@
+// Package metrics provides the statistics collectors the evaluation
+// harness uses: streaming mean/variance (Welford), reservoir-sampled
+// quantiles, boxplot summaries, histograms, and per-node network
+// counters (PRR, retransmissions, utility, latency, energy).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Welford is a streaming mean/variance accumulator. The zero value is
+// ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds a sample into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		w.min = math.Min(w.min, x)
+		w.max = math.Max(w.max, x)
+	}
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Count returns the number of samples.
+func (w *Welford) Count() int64 { return w.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest sample (0 with no samples).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest sample (0 with no samples).
+func (w *Welford) Max() float64 { return w.max }
+
+// Reservoir keeps a bounded uniform sample of a stream for quantile
+// estimation (exact until the capacity is exceeded).
+type Reservoir struct {
+	cap  int
+	seen int64
+	data []float64
+	rng  *rand.Rand
+}
+
+// NewReservoir returns a reservoir holding at most capacity samples.
+func NewReservoir(capacity int, seed uint64) *Reservoir {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Reservoir{
+		cap: capacity,
+		rng: rand.New(rand.NewPCG(seed, 0x5ee0)),
+	}
+}
+
+// Add feeds one sample.
+func (r *Reservoir) Add(x float64) {
+	r.seen++
+	if len(r.data) < r.cap {
+		r.data = append(r.data, x)
+		return
+	}
+	if j := r.rng.Int64N(r.seen); j < int64(r.cap) {
+		r.data[j] = x
+	}
+}
+
+// Seen returns the total number of samples offered.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the retained sample
+// using linear interpolation; it returns 0 when empty.
+func (r *Reservoir) Quantile(q float64) float64 {
+	if len(r.data) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), r.data...)
+	sort.Float64s(sorted)
+	return quantileOf(sorted, q)
+}
+
+func quantileOf(sorted []float64, q float64) float64 {
+	q = math.Min(1, math.Max(0, q))
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Box is a boxplot summary of a sample set, as plotted in the paper's
+// Fig. 5c/6.
+type Box struct {
+	Min      float64
+	Q1       float64
+	Median   float64
+	Q3       float64
+	Max      float64
+	Mean     float64
+	Variance float64
+	// Outliers counts samples beyond 1.5 IQR whiskers.
+	Outliers int
+	N        int
+}
+
+// BoxOf computes a boxplot summary of the given samples.
+func BoxOf(samples []float64) Box {
+	var b Box
+	b.N = len(samples)
+	if b.N == 0 {
+		return b
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	var w Welford
+	for _, x := range sorted {
+		w.Add(x)
+	}
+	b.Min = sorted[0]
+	b.Max = sorted[len(sorted)-1]
+	b.Q1 = quantileOf(sorted, 0.25)
+	b.Median = quantileOf(sorted, 0.5)
+	b.Q3 = quantileOf(sorted, 0.75)
+	b.Mean = w.Mean()
+	b.Variance = w.Variance()
+	iqr := b.Q3 - b.Q1
+	loFence, hiFence := b.Q1-1.5*iqr, b.Q3+1.5*iqr
+	for _, x := range sorted {
+		if x < loFence || x > hiFence {
+			b.Outliers++
+		}
+	}
+	return b
+}
+
+func (b Box) String() string {
+	return fmt.Sprintf("min=%.4g q1=%.4g med=%.4g q3=%.4g max=%.4g mean=%.4g var=%.3g outliers=%d n=%d",
+		b.Min, b.Q1, b.Median, b.Q3, b.Max, b.Mean, b.Variance, b.Outliers, b.N)
+}
+
+// Histogram counts integer-keyed occurrences (e.g. packets per forecast
+// window index).
+type Histogram struct {
+	counts map[int]int64
+	total  int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int64)}
+}
+
+// Add increments the bucket.
+func (h *Histogram) Add(bucket int) {
+	h.counts[bucket]++
+	h.total++
+}
+
+// Count returns the bucket's count.
+func (h *Histogram) Count(bucket int) int64 { return h.counts[bucket] }
+
+// Total returns the number of samples.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Mode returns the bucket with the highest count (lowest index wins
+// ties) and false when the histogram is empty.
+func (h *Histogram) Mode() (int, bool) {
+	if h.total == 0 {
+		return 0, false
+	}
+	best, bestCount := 0, int64(-1)
+	for b, c := range h.counts {
+		if c > bestCount || (c == bestCount && b < best) {
+			best, bestCount = b, c
+		}
+	}
+	return best, true
+}
+
+// Buckets returns the sorted bucket indexes present.
+func (h *Histogram) Buckets() []int {
+	out := make([]int, 0, len(h.counts))
+	for b := range h.counts {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,202 @@
+package metrics
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordAgainstDirect(t *testing.T) {
+	samples := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var w Welford
+	for _, x := range samples {
+		w.Add(x)
+	}
+	if got := w.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Unbiased variance of the set is 32/7.
+	if got := w.Variance(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", w.Min(), w.Max())
+	}
+	if w.Count() != 8 {
+		t.Errorf("Count = %v, want 8", w.Count())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.Std() != 0 {
+		t.Error("empty accumulator should report zeros")
+	}
+	w.Add(3)
+	if w.Variance() != 0 {
+		t.Error("single sample variance should be 0")
+	}
+	if w.Mean() != 3 {
+		t.Errorf("Mean = %v, want 3", w.Mean())
+	}
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(seed uint64, rawN uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		n := int(rawN%100) + 2
+		var w Welford
+		var sum float64
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()*200 - 100
+			w.Add(xs[i])
+			sum += xs[i]
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		naiveVar := ss / float64(n-1)
+		return math.Abs(w.Mean()-mean) < 1e-9 && math.Abs(w.Variance()-naiveVar) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReservoirExactUnderCapacity(t *testing.T) {
+	r := NewReservoir(100, 1)
+	for i := 1; i <= 5; i++ {
+		r.Add(float64(i))
+	}
+	if got := r.Quantile(0.5); got != 3 {
+		t.Errorf("median = %v, want 3", got)
+	}
+	if got := r.Quantile(0); got != 1 {
+		t.Errorf("q0 = %v, want 1", got)
+	}
+	if got := r.Quantile(1); got != 5 {
+		t.Errorf("q1 = %v, want 5", got)
+	}
+	if r.Seen() != 5 {
+		t.Errorf("Seen = %v, want 5", r.Seen())
+	}
+}
+
+func TestReservoirEmpty(t *testing.T) {
+	r := NewReservoir(10, 2)
+	if got := r.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestReservoirSamplingApproximation(t *testing.T) {
+	r := NewReservoir(2000, 3)
+	n := 100000
+	for i := 0; i < n; i++ {
+		r.Add(float64(i) / float64(n)) // uniform [0,1)
+	}
+	if got := r.Quantile(0.5); math.Abs(got-0.5) > 0.05 {
+		t.Errorf("median of uniform stream = %v, want ~0.5", got)
+	}
+	if got := r.Quantile(0.9); math.Abs(got-0.9) > 0.05 {
+		t.Errorf("p90 of uniform stream = %v, want ~0.9", got)
+	}
+	if r.Seen() != int64(n) {
+		t.Errorf("Seen = %v, want %v", r.Seen(), n)
+	}
+}
+
+func TestBoxOf(t *testing.T) {
+	b := BoxOf([]float64{1, 2, 3, 4, 100})
+	if b.N != 5 {
+		t.Fatalf("N = %d", b.N)
+	}
+	if b.Median != 3 {
+		t.Errorf("Median = %v, want 3", b.Median)
+	}
+	if b.Min != 1 || b.Max != 100 {
+		t.Errorf("Min/Max = %v/%v", b.Min, b.Max)
+	}
+	if b.Outliers != 1 {
+		t.Errorf("Outliers = %d, want 1 (the value 100)", b.Outliers)
+	}
+	if b.String() == "" {
+		t.Error("empty String()")
+	}
+
+	empty := BoxOf(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Errorf("empty box = %+v", empty)
+	}
+}
+
+func TestBoxOfDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	BoxOf(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("BoxOf mutated its input")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	if _, ok := h.Mode(); ok {
+		t.Error("empty histogram should have no mode")
+	}
+	for _, b := range []int{2, 2, 2, 0, 1, 1} {
+		h.Add(b)
+	}
+	if got := h.Count(2); got != 3 {
+		t.Errorf("Count(2) = %d, want 3", got)
+	}
+	if got := h.Total(); got != 6 {
+		t.Errorf("Total = %d, want 6", got)
+	}
+	mode, ok := h.Mode()
+	if !ok || mode != 2 {
+		t.Errorf("Mode = %d,%v want 2,true", mode, ok)
+	}
+	buckets := h.Buckets()
+	want := []int{0, 1, 2}
+	if len(buckets) != len(want) {
+		t.Fatalf("Buckets = %v", buckets)
+	}
+	for i := range want {
+		if buckets[i] != want[i] {
+			t.Fatalf("Buckets = %v, want %v", buckets, want)
+		}
+	}
+}
+
+func TestHistogramModeTieBreaksLow(t *testing.T) {
+	h := NewHistogram()
+	h.Add(5)
+	h.Add(3)
+	mode, ok := h.Mode()
+	if !ok || mode != 3 {
+		t.Errorf("Mode = %d, want 3 on tie", mode)
+	}
+}
+
+func TestReservoirCapacityClamped(t *testing.T) {
+	r := NewReservoir(0, 9)
+	r.Add(1)
+	r.Add(2)
+	if got := r.Quantile(0.5); got != 1 && got != 2 {
+		t.Errorf("clamped reservoir median = %v", got)
+	}
+}
+
+func TestBoxOfSingleSample(t *testing.T) {
+	b := BoxOf([]float64{7})
+	if b.Min != 7 || b.Max != 7 || b.Median != 7 || b.Mean != 7 || b.Variance != 0 {
+		t.Errorf("single-sample box = %+v", b)
+	}
+	if b.Outliers != 0 {
+		t.Errorf("single sample cannot be an outlier: %+v", b)
+	}
+}

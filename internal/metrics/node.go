@@ -1,0 +1,86 @@
+package metrics
+
+import "repro/internal/simtime"
+
+// NodeStats accumulates one node's network performance counters over a
+// run: everything needed to report the paper's Sec. IV-A2 metrics.
+type NodeStats struct {
+	// Generated counts sampled packets.
+	Generated int64
+	// Delivered counts packets whose ACK reached the node.
+	Delivered int64
+	// Dropped counts packets Algorithm 1 refused (FAIL) plus packets
+	// whose every attempt went unacknowledged.
+	Dropped int64
+	// Attempts counts transmission attempts (first try + retransmissions).
+	Attempts int64
+	// TxEnergyJ is the total transmission energy in joules (Eq. 6 summed).
+	TxEnergyJ float64
+	// UtilitySum accumulates per-packet utility (0 for undelivered).
+	UtilitySum float64
+	// LatencyDelivered accumulates generation-to-ACK latency over
+	// delivered packets.
+	LatencyDelivered simtime.Duration
+	// LatencyPenalized additionally charges each undelivered packet one
+	// full sampling period (the paper's penalty).
+	LatencyPenalized simtime.Duration
+	// NeverSent counts packets dropped by Algorithm 1 before any
+	// transmission attempt (FAIL decisions).
+	NeverSent int64
+	// WindowHist counts, per forecast-window index, how many packets
+	// were transmitted there (Fig. 4).
+	WindowHist *Histogram
+}
+
+// NewNodeStats returns zeroed counters.
+func NewNodeStats() *NodeStats {
+	return &NodeStats{WindowHist: NewHistogram()}
+}
+
+// PRR returns the packet reception rate: ACKs received over packets
+// generated.
+func (s *NodeStats) PRR() float64 {
+	if s.Generated == 0 {
+		return 0
+	}
+	return float64(s.Delivered) / float64(s.Generated)
+}
+
+// AvgAttempts returns the mean transmission attempts per packet that
+// reached the radio (the paper's avg RETX metric counts attempts).
+func (s *NodeStats) AvgAttempts() float64 {
+	sent := s.Generated - s.droppedBeforeRadio()
+	if sent <= 0 {
+		return 0
+	}
+	return float64(s.Attempts) / float64(sent)
+}
+
+// droppedBeforeRadio returns packets that never hit the radio, so
+// AvgAttempts averages only over packets that transmitted at least once.
+func (s *NodeStats) droppedBeforeRadio() int64 { return s.NeverSent }
+
+// AvgUtility returns the mean per-generated-packet utility.
+func (s *NodeStats) AvgUtility() float64 {
+	if s.Generated == 0 {
+		return 0
+	}
+	return s.UtilitySum / float64(s.Generated)
+}
+
+// AvgLatencyDelivered returns the mean latency over delivered packets.
+func (s *NodeStats) AvgLatencyDelivered() simtime.Duration {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return s.LatencyDelivered / simtime.Duration(s.Delivered)
+}
+
+// AvgLatencyPenalized returns the mean latency over all generated
+// packets with undelivered ones penalized by a sampling period.
+func (s *NodeStats) AvgLatencyPenalized() simtime.Duration {
+	if s.Generated == 0 {
+		return 0
+	}
+	return s.LatencyPenalized / simtime.Duration(s.Generated)
+}

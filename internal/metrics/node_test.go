@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestNodeStatsDerivedMetrics(t *testing.T) {
+	s := NewNodeStats()
+
+	// 4 packets: 2 delivered, 1 dropped after attempts, 1 never sent.
+	s.Generated = 4
+	s.Delivered = 2
+	s.Dropped = 2
+	s.NeverSent = 1
+	s.Attempts = 7 // e.g. 1 + 2 + 4 attempts over the three sent packets
+	s.UtilitySum = 1.0 + 0.8
+	s.LatencyDelivered = 10 * simtime.Second
+	s.LatencyPenalized = 10*simtime.Second + 2*30*simtime.Minute
+	s.WindowHist.Add(0)
+	s.WindowHist.Add(1)
+	s.WindowHist.Add(1)
+
+	if got := s.PRR(); got != 0.5 {
+		t.Errorf("PRR = %v, want 0.5", got)
+	}
+	if got := s.AvgAttempts(); got != 7.0/3 {
+		t.Errorf("AvgAttempts = %v, want 7/3 (never-sent packet excluded)", got)
+	}
+	if got := s.AvgUtility(); got != 1.8/4 {
+		t.Errorf("AvgUtility = %v, want 0.45", got)
+	}
+	if got := s.AvgLatencyDelivered(); got != 5*simtime.Second {
+		t.Errorf("AvgLatencyDelivered = %v, want 5 s", got)
+	}
+	wantPen := (10*simtime.Second + 60*simtime.Minute) / 4
+	if got := s.AvgLatencyPenalized(); got != wantPen {
+		t.Errorf("AvgLatencyPenalized = %v, want %v", got, wantPen)
+	}
+	if mode, ok := s.WindowHist.Mode(); !ok || mode != 1 {
+		t.Errorf("majority window = %d, want 1", mode)
+	}
+}
+
+func TestNodeStatsZeroDivision(t *testing.T) {
+	s := NewNodeStats()
+	if s.PRR() != 0 || s.AvgAttempts() != 0 || s.AvgUtility() != 0 {
+		t.Error("zero-packet node should report zeros")
+	}
+	if s.AvgLatencyDelivered() != 0 || s.AvgLatencyPenalized() != 0 {
+		t.Error("zero-packet node should report zero latencies")
+	}
+	// All packets never sent: attempts denominator is zero.
+	s.Generated = 3
+	s.NeverSent = 3
+	if s.AvgAttempts() != 0 {
+		t.Error("all-dropped node should report zero attempts")
+	}
+}

@@ -1,0 +1,137 @@
+// Package netserver implements the gateway/network-server side of the
+// protocol (Sec. III-B): it reconstructs each node's state-of-charge
+// trace from the 4-byte transition reports piggy-backed on uplink
+// packets, recomputes battery degradation with the incremental rainflow
+// tracker, and derives the normalized degradation w_u = D_u / D_max that
+// is disseminated back to nodes on ACKs (at most once per day, quantized
+// to one byte).
+package netserver
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/battery"
+	"repro/internal/simtime"
+)
+
+// Server is the network-server state. It is not safe for concurrent use;
+// the simulator serializes access, and the testbed runtime guards it
+// with its gateway goroutine.
+type Server struct {
+	model    battery.Model
+	tempC    float64
+	interval simtime.Duration
+
+	nodes       map[int]*nodeState
+	lastCompute simtime.Time
+	computed    bool
+}
+
+type nodeState struct {
+	tracker *battery.Tracker
+	degr    float64 // latest computed capacity fade
+	wu      byte    // latest normalized degradation, quantized to 1 byte
+}
+
+// New returns a server using the given degradation model, battery
+// temperature, and recomputation interval (the paper uses one day).
+func New(model battery.Model, tempC float64, interval simtime.Duration) (*Server, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("netserver: non-positive recompute interval %v", interval)
+	}
+	return &Server{
+		model:    model,
+		tempC:    tempC,
+		interval: interval,
+		nodes:    make(map[int]*nodeState),
+	}, nil
+}
+
+// Register adds a node with its initial state of charge. Registering an
+// existing node resets its history.
+func (s *Server) Register(nodeID int, initialSoC float64) {
+	st := &nodeState{tracker: battery.NewTracker(s.model, s.tempC)}
+	st.tracker.Push(initialSoC)
+	s.nodes[nodeID] = st
+}
+
+// NumNodes returns how many nodes are registered.
+func (s *Server) NumNodes() int { return len(s.nodes) }
+
+// Ingest folds a decoded packet's transition reports into the node's
+// reconstructed SoC trace. packetAt is the packet's reception time and
+// window the node's forecast-window length (needed to decode the
+// relative timestamps). Unknown nodes are ignored: a production server
+// would trigger a join procedure, which is out of scope here.
+func (s *Server) Ingest(nodeID int, reports []battery.Report, packetAt simtime.Time, window simtime.Duration) {
+	st, ok := s.nodes[nodeID]
+	if !ok {
+		return
+	}
+	for _, r := range reports {
+		st.tracker.Push(r.Decode(packetAt, window).SoC)
+	}
+}
+
+// RecomputeIfDue recomputes every node's degradation and the network's
+// normalized weights if the dissemination interval elapsed; it reports
+// whether a recomputation ran. The first call always computes.
+func (s *Server) RecomputeIfDue(now simtime.Time) bool {
+	if s.computed && now.Sub(s.lastCompute) < s.interval {
+		return false
+	}
+	s.recompute(now)
+	return true
+}
+
+func (s *Server) recompute(now simtime.Time) {
+	s.lastCompute = now
+	s.computed = true
+	var dmax float64
+	for _, st := range s.nodes {
+		st.degr = st.tracker.Degradation(simtime.Duration(now))
+		dmax = math.Max(dmax, st.degr)
+	}
+	for _, st := range s.nodes {
+		wu := 0.0
+		if dmax > 0 {
+			wu = st.degr / dmax
+		}
+		st.wu = byte(math.Round(wu * 255))
+	}
+}
+
+// NormalizedDegradation returns the node's latest w_u as the node will
+// receive it: quantized to 1/255 steps (the 1-byte ACK piggyback).
+func (s *Server) NormalizedDegradation(nodeID int) float64 {
+	st, ok := s.nodes[nodeID]
+	if !ok {
+		return 0
+	}
+	return float64(st.wu) / 255
+}
+
+// Degradation returns the node's latest computed capacity fade.
+func (s *Server) Degradation(nodeID int) float64 {
+	st, ok := s.nodes[nodeID]
+	if !ok {
+		return 0
+	}
+	return st.degr
+}
+
+// MaxDegradation returns the highest computed capacity fade in the
+// network and the node holding it (-1 when no nodes are registered).
+func (s *Server) MaxDegradation() (nodeID int, degradation float64) {
+	nodeID = -1
+	for id, st := range s.nodes {
+		if st.degr > degradation || nodeID == -1 {
+			nodeID, degradation = id, st.degr
+		}
+	}
+	return nodeID, degradation
+}

@@ -1,0 +1,140 @@
+package netserver
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/battery"
+	"repro/internal/simtime"
+)
+
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := New(battery.DefaultModel(), 25, simtime.Day)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := battery.DefaultModel()
+	bad.K1 = 0
+	if _, err := New(bad, 25, simtime.Day); err == nil {
+		t.Error("invalid model should fail")
+	}
+	if _, err := New(battery.DefaultModel(), 25, 0); err == nil {
+		t.Error("zero interval should fail")
+	}
+}
+
+func TestRegisterAndCount(t *testing.T) {
+	s := newTestServer(t)
+	if s.NumNodes() != 0 {
+		t.Error("fresh server should have no nodes")
+	}
+	s.Register(1, 0.5)
+	s.Register(2, 0.9)
+	s.Register(1, 0.5) // re-register resets, no duplicate
+	if got := s.NumNodes(); got != 2 {
+		t.Errorf("NumNodes = %d, want 2", got)
+	}
+}
+
+func TestUnknownNodeQueries(t *testing.T) {
+	s := newTestServer(t)
+	if got := s.NormalizedDegradation(99); got != 0 {
+		t.Errorf("unknown node w_u = %v, want 0", got)
+	}
+	if got := s.Degradation(99); got != 0 {
+		t.Errorf("unknown node degradation = %v, want 0", got)
+	}
+	// Ingest for unknown node must not panic.
+	s.Ingest(99, []battery.Report{{WindowsAgo: 1, SoCQ: 1000}}, simtime.Time(simtime.Hour), simtime.Minute)
+	if id, d := s.MaxDegradation(); id != -1 || d != 0 {
+		t.Errorf("MaxDegradation on empty server = %d,%v", id, d)
+	}
+}
+
+func TestRecomputeIfDueCadence(t *testing.T) {
+	s := newTestServer(t)
+	s.Register(1, 0.9)
+
+	if !s.RecomputeIfDue(0) {
+		t.Error("first call must compute")
+	}
+	if s.RecomputeIfDue(simtime.Time(simtime.Hour)) {
+		t.Error("1 hour later: not due yet")
+	}
+	if !s.RecomputeIfDue(simtime.Time(25 * simtime.Hour)) {
+		t.Error("25 hours later: due")
+	}
+}
+
+// TestNormalizedDegradationOrdering: an always-full battery must end up
+// with w_u = 1 (the most degraded) and the low-SoC battery below it.
+func TestNormalizedDegradationOrdering(t *testing.T) {
+	s := newTestServer(t)
+	s.Register(1, 1.0) // resting full: fastest calendar aging
+	s.Register(2, 0.3) // resting low
+	now := simtime.Time(simtime.Year)
+	s.RecomputeIfDue(now)
+
+	w1 := s.NormalizedDegradation(1)
+	w2 := s.NormalizedDegradation(2)
+	if w1 != 1 {
+		t.Errorf("most degraded node w_u = %v, want exactly 1", w1)
+	}
+	if w2 >= w1 {
+		t.Errorf("lower-SoC node w_u = %v, want < %v", w2, w1)
+	}
+	id, d := s.MaxDegradation()
+	if id != 1 || d <= 0 {
+		t.Errorf("MaxDegradation = %d,%v, want node 1", id, d)
+	}
+	if got := s.Degradation(1); got != d {
+		t.Errorf("Degradation(1) = %v, want %v", got, d)
+	}
+}
+
+// TestQuantization: w_u arrives in 1/255 steps, matching the 1-byte ACK
+// piggyback overhead the paper budgets.
+func TestQuantization(t *testing.T) {
+	s := newTestServer(t)
+	s.Register(1, 1.0)
+	s.Register(2, 0.62)
+	s.RecomputeIfDue(simtime.Time(simtime.Year))
+
+	w2 := s.NormalizedDegradation(2)
+	scaled := w2 * 255
+	if math.Abs(scaled-math.Round(scaled)) > 1e-9 {
+		t.Errorf("w_u = %v is not a 1/255 multiple", w2)
+	}
+}
+
+// TestIngestDrivesCycleAging: reports describing deep daily cycles must
+// raise the reconstructed degradation above a no-cycling node's.
+func TestIngestDrivesCycleAging(t *testing.T) {
+	s := newTestServer(t)
+	// Node 1 cycles 0.9 <-> 0.3 (mean cycle SoC 0.6); node 2 rests at the
+	// same mean SoC 0.6, so calendar aging matches and cycle aging is the
+	// only difference.
+	s.Register(1, 0.9)
+	s.Register(2, 0.6)
+
+	window := simtime.Minute
+	for day := 0; day < 100; day++ {
+		at := simtime.Time(day) * simtime.Time(simtime.Day)
+		// Node 1 swings 0.9 -> 0.3 -> 0.9 daily; node 2 reports nothing.
+		s.Ingest(1, []battery.Report{
+			battery.EncodeTransition(battery.Transition{At: at, SoC: 0.3}, at.Add(simtime.Hour), window),
+			battery.EncodeTransition(battery.Transition{At: at.Add(30 * simtime.Minute), SoC: 0.9}, at.Add(simtime.Hour), window),
+		}, at.Add(simtime.Hour), window)
+	}
+	now := simtime.Time(100 * simtime.Day)
+	s.RecomputeIfDue(now)
+	if s.Degradation(1) <= s.Degradation(2) {
+		t.Errorf("cycling node degradation %v should exceed idle node %v",
+			s.Degradation(1), s.Degradation(2))
+	}
+}

@@ -1,0 +1,183 @@
+// Package optimal implements the paper's centralized clairvoyant
+// formulation of the battery lifespan maximization problem (Sec. III-A,
+// Eq. 8-12): a TDMA schedule over rho slots where a clairvoyant network
+// manager knows every node's future energy generation and assigns each
+// packet a transmission slot, subject to the gateway's omega concurrent
+// receptions and battery feasibility.
+//
+// The paper only uses this formulation to motivate the on-sensor
+// heuristic (the multi-objective MINLP is impractical); this package
+// provides an exhaustive solver for tiny instances and a greedy
+// clairvoyant scheduler for larger ones, so the heuristic's optimality
+// gap can be measured (see examples/optimalgap).
+package optimal
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/battery"
+	"repro/internal/simtime"
+)
+
+// NodeSpec describes one node of the centralized problem.
+type NodeSpec struct {
+	// PeriodSlots is tau: a packet is generated every tau slots,
+	// starting at slot 0.
+	PeriodSlots int
+	// TxEnergyJ is consumed in a transmission slot (Eq. 6).
+	TxEnergyJ float64
+	// SleepEnergyJ is consumed in every non-transmission slot.
+	SleepEnergyJ float64
+	// GenJ is the clairvoyant per-slot green energy generation, length
+	// >= the problem's slot count.
+	GenJ []float64
+	// CapacityJ is the battery's usable capacity (theta already
+	// applied).
+	CapacityJ float64
+	// InitialJ is the energy stored at slot 0.
+	InitialJ float64
+}
+
+// Problem is one instance of the centralized formulation.
+type Problem struct {
+	// Slots is rho, the scheduling horizon.
+	Slots int
+	// Omega is the gateway's concurrent reception capacity (Eq. 11).
+	Omega int
+	// SlotLen converts slots to time for calendar aging.
+	SlotLen simtime.Duration
+	// Model and TempC parameterize degradation.
+	Model battery.Model
+	TempC float64
+	// UtilityWeight scalarizes the bi-objective (Eq. 8-9):
+	// minimize maxDeg + UtilityWeight * maxDisutility.
+	UtilityWeight float64
+	Nodes         []NodeSpec
+}
+
+// Validate reports the first inconsistency.
+func (p Problem) Validate() error {
+	switch {
+	case p.Slots <= 0:
+		return fmt.Errorf("optimal: slots %d must be positive", p.Slots)
+	case p.Omega <= 0:
+		return fmt.Errorf("optimal: omega %d must be positive", p.Omega)
+	case p.SlotLen <= 0:
+		return fmt.Errorf("optimal: slot length %v must be positive", p.SlotLen)
+	case len(p.Nodes) == 0:
+		return fmt.Errorf("optimal: no nodes")
+	case p.UtilityWeight < 0:
+		return fmt.Errorf("optimal: negative utility weight %v", p.UtilityWeight)
+	}
+	if err := p.Model.Validate(); err != nil {
+		return err
+	}
+	for i, n := range p.Nodes {
+		switch {
+		case n.PeriodSlots <= 0 || n.PeriodSlots > p.Slots:
+			return fmt.Errorf("optimal: node %d period %d outside [1,%d]", i, n.PeriodSlots, p.Slots)
+		case len(n.GenJ) < p.Slots:
+			return fmt.Errorf("optimal: node %d generation trace has %d slots, need %d", i, len(n.GenJ), p.Slots)
+		case n.TxEnergyJ <= 0 || n.CapacityJ <= 0:
+			return fmt.Errorf("optimal: node %d energies must be positive", i)
+		case n.InitialJ < 0 || n.InitialJ > n.CapacityJ:
+			return fmt.Errorf("optimal: node %d initial energy %v outside [0,%v]", i, n.InitialJ, n.CapacityJ)
+		}
+	}
+	return nil
+}
+
+// Packets returns how many packets node i must schedule in the horizon
+// (the constraint Eq. 10: every generated packet except a trailing
+// partial one).
+func (p Problem) Packets(i int) int { return p.Slots / p.Nodes[i].PeriodSlots }
+
+// Schedule assigns each packet of each node a transmission slot.
+// TxSlot[i][k] is the absolute slot of node i's k-th packet, which must
+// lie within the packet's period [k*tau, (k+1)*tau).
+type Schedule struct {
+	TxSlot [][]int
+}
+
+// Evaluation summarizes a schedule's quality.
+type Evaluation struct {
+	// Feasible is false when a battery went negative or the omega
+	// constraint is violated.
+	Feasible bool
+	// MaxDegradation is Eq. (8): the worst node's capacity fade.
+	MaxDegradation float64
+	// MaxDisutility is Eq. (9): the worst node's (1 - average utility).
+	MaxDisutility float64
+	// Objective is the scalarized value used for comparison.
+	Objective float64
+}
+
+// Evaluate computes the objective of a schedule: it simulates every
+// node's battery over the horizon (Eq. 5), applies the degradation model
+// (Eq. 1-4), and checks the collision constraint (Eq. 11).
+func (p Problem) Evaluate(s Schedule) Evaluation {
+	eval := Evaluation{Feasible: true}
+	if len(s.TxSlot) != len(p.Nodes) {
+		return Evaluation{Objective: math.Inf(1)}
+	}
+
+	// Collision constraint: at most omega transmissions per slot.
+	perSlot := make([]int, p.Slots)
+	for i, slots := range s.TxSlot {
+		if len(slots) != p.Packets(i) {
+			return Evaluation{Objective: math.Inf(1)}
+		}
+		tau := p.Nodes[i].PeriodSlots
+		for k, t := range slots {
+			if t < k*tau || t >= (k+1)*tau || t >= p.Slots {
+				return Evaluation{Objective: math.Inf(1)}
+			}
+			perSlot[t]++
+			if perSlot[t] > p.Omega {
+				eval.Feasible = false
+			}
+		}
+	}
+
+	horizon := simtime.Duration(p.Slots) * p.SlotLen
+	for i, n := range p.Nodes {
+		tracker := battery.NewTracker(p.Model, p.TempC)
+		psi := n.InitialJ
+		tracker.Push(psi / n.CapacityJ)
+
+		txAt := make(map[int]bool, len(s.TxSlot[i]))
+		for _, t := range s.TxSlot[i] {
+			txAt[t] = true
+		}
+		var disutility float64
+		for t := 0; t < p.Slots; t++ {
+			draw := n.SleepEnergyJ
+			if txAt[t] {
+				draw = n.TxEnergyJ
+				offset := t % n.PeriodSlots
+				disutility += float64(offset) / float64(n.PeriodSlots)
+			}
+			psi = psi + n.GenJ[t] - draw
+			if psi < 0 {
+				eval.Feasible = false
+				psi = 0
+			}
+			psi = math.Min(psi, n.CapacityJ)
+			tracker.Push(psi / n.CapacityJ)
+		}
+		packets := float64(p.Packets(i))
+		if packets > 0 {
+			disutility /= packets
+		}
+		deg := tracker.Degradation(horizon)
+		eval.MaxDegradation = math.Max(eval.MaxDegradation, deg)
+		eval.MaxDisutility = math.Max(eval.MaxDisutility, disutility)
+	}
+
+	eval.Objective = eval.MaxDegradation + p.UtilityWeight*eval.MaxDisutility
+	if !eval.Feasible {
+		eval.Objective = math.Inf(1)
+	}
+	return eval
+}

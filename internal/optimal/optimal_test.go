@@ -1,0 +1,194 @@
+package optimal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/battery"
+	"repro/internal/simtime"
+)
+
+// tinyProblem: 2 nodes, 8 slots, period 4 slots, generation only in the
+// second half of each period.
+func tinyProblem() Problem {
+	gen := []float64{0, 0, 0.05, 0.05, 0, 0, 0.05, 0.05}
+	node := NodeSpec{
+		PeriodSlots:  4,
+		TxEnergyJ:    0.04,
+		SleepEnergyJ: 0.001,
+		GenJ:         gen,
+		CapacityJ:    1,
+		InitialJ:     0.5,
+	}
+	return Problem{
+		Slots:         8,
+		Omega:         1,
+		SlotLen:       simtime.Minute,
+		Model:         battery.DefaultModel(),
+		TempC:         25,
+		UtilityWeight: 0.001,
+		Nodes:         []NodeSpec{node, node},
+	}
+}
+
+func TestProblemValidate(t *testing.T) {
+	valid := tinyProblem()
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid problem rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Problem)
+	}{
+		{"no slots", func(p *Problem) { p.Slots = 0 }},
+		{"no omega", func(p *Problem) { p.Omega = 0 }},
+		{"no nodes", func(p *Problem) { p.Nodes = nil }},
+		{"neg weight", func(p *Problem) { p.UtilityWeight = -1 }},
+		{"bad period", func(p *Problem) { p.Nodes[0].PeriodSlots = 100 }},
+		{"short trace", func(p *Problem) { p.Nodes[0].GenJ = p.Nodes[0].GenJ[:2] }},
+		{"bad initial", func(p *Problem) { p.Nodes[0].InitialJ = 5 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := tinyProblem()
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("Validate should fail")
+			}
+		})
+	}
+}
+
+func TestEvaluateRejectsMalformedSchedules(t *testing.T) {
+	p := tinyProblem()
+	// Wrong node count.
+	if e := p.Evaluate(Schedule{TxSlot: [][]int{{0, 4}}}); !math.IsInf(e.Objective, 1) {
+		t.Error("wrong node count should be infeasible")
+	}
+	// Slot outside the packet's period.
+	bad := Schedule{TxSlot: [][]int{{5, 4}, {0, 4}}}
+	if e := p.Evaluate(bad); !math.IsInf(e.Objective, 1) {
+		t.Error("slot outside its period should be infeasible")
+	}
+}
+
+func TestEvaluateOmegaConstraint(t *testing.T) {
+	p := tinyProblem()
+	// Both nodes pick the same slots: omega = 1 violated.
+	clash := Schedule{TxSlot: [][]int{{2, 6}, {2, 6}}}
+	if e := p.Evaluate(clash); e.Feasible {
+		t.Error("omega violation should be infeasible")
+	}
+	apart := Schedule{TxSlot: [][]int{{2, 6}, {3, 7}}}
+	if e := p.Evaluate(apart); !e.Feasible {
+		t.Error("separated schedule should be feasible")
+	}
+}
+
+func TestEvaluateUtilityAccounting(t *testing.T) {
+	p := tinyProblem()
+	early := p.Evaluate(Schedule{TxSlot: [][]int{{0, 4}, {1, 5}}})
+	late := p.Evaluate(Schedule{TxSlot: [][]int{{3, 7}, {2, 6}}})
+	if early.MaxDisutility >= late.MaxDisutility {
+		t.Errorf("early transmissions should have lower disutility: %v vs %v",
+			early.MaxDisutility, late.MaxDisutility)
+	}
+	if early.MaxDisutility != 0.25/2+0.0 { // node 1: offsets 1,1 -> (0.25+0.25)/2
+		// node 0 offsets 0,0 -> 0; node 1 offsets 1,1 -> 0.25. Max = 0.25.
+		if math.Abs(early.MaxDisutility-0.25) > 1e-12 {
+			t.Errorf("early MaxDisutility = %v, want 0.25", early.MaxDisutility)
+		}
+	}
+}
+
+func TestSolveExhaustiveBeatsOrMatchesGreedy(t *testing.T) {
+	p := tinyProblem()
+	_, exh, err := SolveExhaustive(p)
+	if err != nil {
+		t.Fatalf("SolveExhaustive: %v", err)
+	}
+	_, greedy, err := SolveGreedy(p)
+	if err != nil {
+		t.Fatalf("SolveGreedy: %v", err)
+	}
+	if !exh.Feasible || !greedy.Feasible {
+		t.Fatal("both solvers should find feasible schedules")
+	}
+	if exh.Objective > greedy.Objective+1e-12 {
+		t.Errorf("exhaustive objective %v worse than greedy %v", exh.Objective, greedy.Objective)
+	}
+}
+
+func TestSolveExhaustiveRespectsOmega(t *testing.T) {
+	p := tinyProblem()
+	s, eval, err := SolveExhaustive(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eval.Feasible {
+		t.Fatal("solution must be feasible")
+	}
+	seen := map[int]int{}
+	for _, slots := range s.TxSlot {
+		for _, slot := range slots {
+			seen[slot]++
+			if seen[slot] > p.Omega {
+				t.Fatalf("slot %d used %d times with omega %d", slot, seen[slot], p.Omega)
+			}
+		}
+	}
+}
+
+// TestSolversChaseGreenEnergy: with a strong degradation focus, both
+// solvers should transmit in slots with generation (the second half of
+// each period).
+func TestSolversChaseGreenEnergy(t *testing.T) {
+	p := tinyProblem()
+	p.UtilityWeight = 1e-6
+
+	check := func(name string, s Schedule) {
+		t.Helper()
+		for i, slots := range s.TxSlot {
+			for k, slot := range slots {
+				if off := slot % 4; off < 2 {
+					t.Errorf("%s: node %d packet %d at offset %d, want a generation slot", name, i, k, off)
+				}
+			}
+		}
+	}
+	se, _, err := SolveExhaustive(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("exhaustive", se)
+	sg, _, err := SolveGreedy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("greedy", sg)
+}
+
+func TestSolveExhaustiveRefusesHugeInstances(t *testing.T) {
+	p := tinyProblem()
+	big := p.Nodes[0]
+	big.GenJ = make([]float64, 240)
+	big.PeriodSlots = 40
+	p.Slots = 240
+	p.Nodes = []NodeSpec{big, big, big, big, big, big}
+	if _, _, err := SolveExhaustive(p); err == nil {
+		t.Error("exhaustive solver should refuse huge instances")
+	}
+}
+
+func TestSolveGreedyStarvation(t *testing.T) {
+	p := tinyProblem()
+	// No generation and tiny batteries: no feasible slot exists.
+	for i := range p.Nodes {
+		p.Nodes[i].GenJ = make([]float64, p.Slots)
+		p.Nodes[i].InitialJ = 0.01
+		p.Nodes[i].CapacityJ = 0.01
+	}
+	if _, _, err := SolveGreedy(p); err == nil {
+		t.Error("greedy should report starvation")
+	}
+}

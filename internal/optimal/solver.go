@@ -1,0 +1,168 @@
+package optimal
+
+import (
+	"fmt"
+	"math"
+)
+
+// maxExhaustiveStates bounds the exhaustive search space; beyond it
+// SolveExhaustive refuses rather than hanging.
+const maxExhaustiveStates = 5_000_000
+
+// SolveExhaustive enumerates every feasible schedule and returns the one
+// minimizing the scalarized objective. It is exponential and intended
+// for tiny instances only (the paper calls the full problem "hard to
+// solve"); use SolveGreedy otherwise.
+func SolveExhaustive(p Problem) (Schedule, Evaluation, error) {
+	if err := p.Validate(); err != nil {
+		return Schedule{}, Evaluation{}, err
+	}
+	// Count the joint choice space.
+	states := 1.0
+	for i := range p.Nodes {
+		per := float64(p.Nodes[i].PeriodSlots)
+		states *= math.Pow(per, float64(p.Packets(i)))
+		if states > maxExhaustiveStates {
+			return Schedule{}, Evaluation{}, fmt.Errorf(
+				"optimal: exhaustive space exceeds %d states; use SolveGreedy", maxExhaustiveStates)
+		}
+	}
+
+	current := Schedule{TxSlot: make([][]int, len(p.Nodes))}
+	for i := range p.Nodes {
+		current.TxSlot[i] = make([]int, p.Packets(i))
+	}
+
+	best := Schedule{}
+	bestEval := Evaluation{Objective: math.Inf(1)}
+
+	// Enumerate per-packet offsets depth-first over (node, packet) pairs.
+	type pos struct{ node, packet int }
+	var order []pos
+	for i := range p.Nodes {
+		for k := 0; k < p.Packets(i); k++ {
+			order = append(order, pos{i, k})
+		}
+	}
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == len(order) {
+			eval := p.Evaluate(current)
+			if eval.Objective < bestEval.Objective {
+				bestEval = eval
+				best = cloneSchedule(current)
+			}
+			return
+		}
+		pp := order[depth]
+		tau := p.Nodes[pp.node].PeriodSlots
+		for off := 0; off < tau; off++ {
+			slot := pp.packet*tau + off
+			if slot >= p.Slots {
+				break
+			}
+			current.TxSlot[pp.node][pp.packet] = slot
+			rec(depth + 1)
+		}
+	}
+	rec(0)
+
+	if math.IsInf(bestEval.Objective, 1) {
+		return Schedule{}, bestEval, fmt.Errorf("optimal: no feasible schedule")
+	}
+	return best, bestEval, nil
+}
+
+// SolveGreedy schedules packets in generation order: each packet takes
+// the slot in its period that minimizes a local score (battery draw
+// beyond generation, plus weighted disutility) among slots with omega
+// capacity left and battery feasibility. It mirrors the structure of the
+// on-sensor heuristic but with clairvoyant generation knowledge and
+// global collision avoidance.
+func SolveGreedy(p Problem) (Schedule, Evaluation, error) {
+	if err := p.Validate(); err != nil {
+		return Schedule{}, Evaluation{}, err
+	}
+	s := Schedule{TxSlot: make([][]int, len(p.Nodes))}
+	perSlot := make([]int, p.Slots)
+	psi := make([]float64, len(p.Nodes))
+	for i := range p.Nodes {
+		s.TxSlot[i] = make([]int, 0, p.Packets(i))
+		psi[i] = p.Nodes[i].InitialJ
+	}
+
+	// Process period by period; within a period, nodes go round-robin so
+	// no node systematically gets the leftovers.
+	maxPackets := 0
+	for i := range p.Nodes {
+		if n := p.Packets(i); n > maxPackets {
+			maxPackets = n
+		}
+	}
+	for k := 0; k < maxPackets; k++ {
+		for i, n := range p.Nodes {
+			if k >= p.Packets(i) {
+				continue
+			}
+			tau := n.PeriodSlots
+			bestSlot, bestScore := -1, math.Inf(1)
+			// Battery evolution inside the period depends on the chosen
+			// slot; evaluate each candidate.
+			for off := 0; off < tau; off++ {
+				slot := k*tau + off
+				if slot >= p.Slots || perSlot[slot] >= p.Omega {
+					continue
+				}
+				if !feasibleWithin(n, psi[i], k*tau, slot) {
+					continue
+				}
+				drawBeyondGen := math.Max(0, n.TxEnergyJ-n.GenJ[slot]) / n.TxEnergyJ
+				score := drawBeyondGen + p.UtilityWeight*float64(off)/float64(tau)
+				if score < bestScore {
+					bestScore, bestSlot = score, off
+				}
+			}
+			if bestSlot == -1 {
+				return Schedule{}, Evaluation{}, fmt.Errorf(
+					"optimal: greedy found no feasible slot for node %d packet %d", i, k)
+			}
+			slot := k*tau + bestSlot
+			s.TxSlot[i] = append(s.TxSlot[i], slot)
+			perSlot[slot]++
+			// Advance the battery through the period.
+			for t := k * tau; t < (k+1)*tau && t < p.Slots; t++ {
+				draw := n.SleepEnergyJ
+				if t == slot {
+					draw = n.TxEnergyJ
+				}
+				psi[i] = math.Min(math.Max(0, psi[i]+n.GenJ[t]-draw), n.CapacityJ)
+			}
+		}
+	}
+	return s, p.Evaluate(s), nil
+}
+
+// feasibleWithin reports whether the battery survives from the period
+// start through a transmission at the candidate slot.
+func feasibleWithin(n NodeSpec, psi0 float64, from, txSlot int) bool {
+	psi := psi0
+	for t := from; t <= txSlot; t++ {
+		draw := n.SleepEnergyJ
+		if t == txSlot {
+			draw = n.TxEnergyJ
+		}
+		psi = math.Min(psi+n.GenJ[t]-draw, n.CapacityJ)
+		if psi < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func cloneSchedule(s Schedule) Schedule {
+	out := Schedule{TxSlot: make([][]int, len(s.TxSlot))}
+	for i, slots := range s.TxSlot {
+		out.TxSlot[i] = append([]int(nil), slots...)
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package radio
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGatewayLayoutSingle(t *testing.T) {
+	got := GatewayLayout(1, 5000)
+	if len(got) != 1 {
+		t.Fatalf("layout = %v, want single gateway", got)
+	}
+	if got[0] != (Position{}) {
+		t.Errorf("single gateway at %v, want origin", got[0])
+	}
+	// Degenerate inputs clamp to one gateway.
+	if got := GatewayLayout(0, 5000); len(got) != 1 {
+		t.Errorf("zero gateways should clamp to 1, got %v", got)
+	}
+}
+
+func TestGatewayLayoutRing(t *testing.T) {
+	const radius = 5000.0
+	got := GatewayLayout(4, radius)
+	if len(got) != 4 {
+		t.Fatalf("layout size = %d, want 4", len(got))
+	}
+	if got[0] != (Position{}) {
+		t.Errorf("first gateway at %v, want origin", got[0])
+	}
+	for i, p := range got[1:] {
+		d := p.DistanceTo(Position{})
+		if math.Abs(d-0.6*radius) > 1e-6 {
+			t.Errorf("ring gateway %d at distance %v, want %v", i+1, d, 0.6*radius)
+		}
+	}
+	// Ring gateways must be distinct.
+	for i := 1; i < len(got); i++ {
+		for j := i + 1; j < len(got); j++ {
+			if got[i].DistanceTo(got[j]) < 1 {
+				t.Errorf("gateways %d and %d coincide at %v", i, j, got[i])
+			}
+		}
+	}
+}
+
+func TestRxPowerBetween(t *testing.T) {
+	m := DefaultPathLoss(3)
+	from := Position{X: 1000, Y: 1000}
+	to := Position{X: 1000, Y: 3000} // 2 km apart
+	got := m.RxPowerBetweenDBm(14, from, to, 77)
+	want := 14 - m.MeanLossDB(2000) + m.ShadowingDB(77)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("RxPowerBetweenDBm = %v, want %v", got, want)
+	}
+	// The origin-gateway shorthand matches the general form.
+	pos := Position{X: 2500}
+	if m.RxPowerDBm(14, pos, 5) != m.RxPowerBetweenDBm(14, pos, Position{}, 5) {
+		t.Error("RxPowerDBm should delegate to RxPowerBetweenDBm")
+	}
+	// Different link IDs see different shadowing.
+	a := m.RxPowerBetweenDBm(14, from, to, 1)
+	b := m.RxPowerBetweenDBm(14, from, to, 2)
+	if a == b {
+		t.Error("distinct links should draw distinct shadowing")
+	}
+}
+
+func TestPositionString(t *testing.T) {
+	if s := (Position{X: 100, Y: -50}).String(); s == "" {
+		t.Error("empty position string")
+	}
+}

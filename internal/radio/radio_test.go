@@ -1,0 +1,163 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lora"
+)
+
+func TestDistance(t *testing.T) {
+	p := Position{X: 3000, Y: 4000}
+	if got := p.DistanceTo(Position{}); got != 5000 {
+		t.Errorf("distance = %v, want 5000", got)
+	}
+	if got := p.DistanceTo(p); got != 0 {
+		t.Errorf("self distance = %v, want 0", got)
+	}
+}
+
+func TestMeanLossReference(t *testing.T) {
+	m := DefaultPathLoss(1)
+	if got := m.MeanLossDB(1000); math.Abs(got-128.95) > 1e-9 {
+		t.Errorf("loss at 1 km = %v, want 128.95", got)
+	}
+	// 5 km: 128.95 + 23.2*log10(5) = ~145.17 dB.
+	if got := m.MeanLossDB(5000); math.Abs(got-145.17) > 0.05 {
+		t.Errorf("loss at 5 km = %v, want ~145.17", got)
+	}
+	// Sub-meter distances clamp.
+	if got := m.MeanLossDB(0); got != m.MeanLossDB(1) {
+		t.Error("distance should clamp at 1 m")
+	}
+}
+
+func TestMeanLossMonotone(t *testing.T) {
+	m := DefaultPathLoss(2)
+	f := func(a, b uint32) bool {
+		lo := float64(min(a, b))
+		hi := float64(max(a, b))
+		return m.MeanLossDB(lo) <= m.MeanLossDB(hi)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShadowingDeterministicAndZeroMean(t *testing.T) {
+	m := DefaultPathLoss(99)
+	if m.ShadowingDB(7) != m.ShadowingDB(7) {
+		t.Error("shadowing must be deterministic per link")
+	}
+	var sum, sumSq float64
+	n := 5000
+	for i := 0; i < n; i++ {
+		s := m.ShadowingDB(uint64(i))
+		sum += s
+		sumSq += s * s
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sumSq/float64(n) - mean*mean)
+	if math.Abs(mean) > 0.2 {
+		t.Errorf("shadowing mean = %v, want ~0", mean)
+	}
+	if math.Abs(std-m.ShadowStdDB) > 0.3 {
+		t.Errorf("shadowing std = %v, want ~%v", std, m.ShadowStdDB)
+	}
+	zero := m
+	zero.ShadowStdDB = 0
+	if zero.ShadowingDB(123) != 0 {
+		t.Error("zero-sigma shadowing should be exactly 0")
+	}
+}
+
+func TestRxPowerComposition(t *testing.T) {
+	m := DefaultPathLoss(5)
+	pos := Position{X: 2000}
+	got := m.RxPowerDBm(14, pos, 42)
+	want := 14 - m.MeanLossDB(2000) + m.ShadowingDB(42)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("RxPowerDBm = %v, want %v", got, want)
+	}
+}
+
+func TestAssignSF(t *testing.T) {
+	tests := []struct {
+		name   string
+		rx     float64
+		wantSF lora.SpreadingFactor
+		wantOK bool
+	}{
+		{"very strong", -100, lora.SF7, true},
+		{"needs SF10", lora.Sensitivity(lora.SF10, lora.BW125) + 3, lora.SF10, true},
+		{"boundary just misses SF10", lora.Sensitivity(lora.SF10, lora.BW125) + 2.9, lora.SF11, true},
+		{"needs SF12", -134, lora.SF12, true},
+		{"out of range", -136, lora.SF12, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			sf, ok := AssignSF(tt.rx, 3, lora.BW125)
+			if sf != tt.wantSF || ok != tt.wantOK {
+				t.Errorf("AssignSF(%v) = %v,%v want %v,%v", tt.rx, sf, ok, tt.wantSF, tt.wantOK)
+			}
+		})
+	}
+}
+
+func TestAssignSFMonotone(t *testing.T) {
+	// Stronger signals never get a larger SF.
+	f := func(rawA, rawB uint8) bool {
+		a := -150 + float64(rawA)/4 // [-150, -86]
+		b := -150 + float64(rawB)/4
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		sfLo, _ := AssignSF(lo, 3, lora.BW125)
+		sfHi, _ := AssignSF(hi, 3, lora.BW125)
+		return sfHi <= sfLo
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCaptures(t *testing.T) {
+	tests := []struct {
+		name        string
+		power       float64
+		interferers []float64
+		want        bool
+	}{
+		{"no interference", -100, nil, true},
+		{"strong enough", -100, []float64{-107}, true},
+		{"exactly at threshold", -100, []float64{-106}, true},
+		{"too close", -100, []float64{-105}, false},
+		{"one of many too strong", -100, []float64{-120, -103, -130}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Captures(tt.power, tt.interferers); got != tt.want {
+				t.Errorf("Captures(%v, %v) = %v, want %v", tt.power, tt.interferers, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestDeploymentReachability: with default parameters and +14 dBm, the
+// overwhelming majority of nodes within 5 km must be reachable at some SF
+// (this is the paper's deployment assumption).
+func TestDeploymentReachability(t *testing.T) {
+	m := DefaultPathLoss(7)
+	reachable := 0
+	n := 2000
+	for i := 0; i < n; i++ {
+		d := 100 + 4900*hash01(7, uint64(i), 0xd15) // 100 m .. 5 km
+		pos := Position{X: d}
+		rx := m.RxPowerDBm(14, pos, uint64(i))
+		if _, ok := AssignSF(rx, 3, lora.BW125); ok {
+			reachable++
+		}
+	}
+	if frac := float64(reachable) / float64(n); frac < 0.95 {
+		t.Errorf("only %.1f%% of nodes within 5 km reachable", frac*100)
+	}
+}

@@ -1,0 +1,149 @@
+package sim
+
+// Failure-injection and edge-parameter tests: the simulator must stay
+// consistent (no panics, invariants intact) under hostile conditions a
+// production user will eventually configure.
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/simtime"
+)
+
+func checkConsistency(t *testing.T, res *Result) {
+	t.Helper()
+	for _, n := range res.Nodes {
+		s := n.Stats
+		if s.Delivered+s.Dropped > s.Generated {
+			t.Errorf("node %d: settled more packets than generated: %+v", n.ID, s)
+		}
+		if s.Delivered > 0 && s.Attempts == 0 {
+			t.Errorf("node %d: deliveries without attempts", n.ID)
+		}
+		if prr := s.PRR(); prr < 0 || prr > 1 {
+			t.Errorf("node %d: PRR %v", n.ID, prr)
+		}
+		if n.FinalSoC < 0 || n.FinalSoC > 1 {
+			t.Errorf("node %d: SoC %v", n.ID, n.FinalSoC)
+		}
+	}
+}
+
+func TestColdStartDepletedBatteries(t *testing.T) {
+	cfg := smallScenario(config.ProtocolBLA)
+	cfg.InitialSoC = 0 // deployed with empty batteries
+	cfg.ForecastPrimeDays = 0
+	res := mustRun(t, cfg, Hooks{})
+	checkConsistency(t, res)
+	// After three days of sun at least some packets must flow.
+	var delivered int64
+	for _, n := range res.Nodes {
+		delivered += n.Stats.Delivered
+	}
+	if delivered == 0 {
+		t.Error("network should bootstrap from solar within days")
+	}
+}
+
+func TestPermanentOvercast(t *testing.T) {
+	cfg := smallScenario(config.ProtocolBLA)
+	cfg.Solar.CloudAttenuation = 1 // full clouds remove all power
+	cfg.Solar.WeatherPersistence = 1
+	cfg.InitialSoC = 0.5
+	res := mustRun(t, cfg, Hooks{})
+	checkConsistency(t, res)
+	// With theta=0.5 batteries and no recharge, nodes must start failing
+	// packets rather than panicking; Algorithm 1 FAILs count as drops.
+	var dropped, generated int64
+	for _, n := range res.Nodes {
+		dropped += n.Stats.Dropped
+		generated += n.Stats.Generated
+	}
+	if generated == 0 {
+		t.Fatal("no packets generated")
+	}
+	if dropped == 0 {
+		t.Error("permanent overcast should eventually starve some packets")
+	}
+}
+
+func TestNoRetransmissions(t *testing.T) {
+	cfg := smallScenario(config.ProtocolLoRaWAN)
+	cfg.MaxAttempts = 1
+	res := mustRun(t, cfg, Hooks{})
+	checkConsistency(t, res)
+	for _, n := range res.Nodes {
+		if n.Stats.Attempts > n.Stats.Generated {
+			t.Errorf("node %d exceeded one attempt per packet", n.ID)
+		}
+	}
+}
+
+func TestSingleDemodulator(t *testing.T) {
+	cfg := smallScenario(config.ProtocolLoRaWAN)
+	cfg.Demodulators = 1
+	cfg.StartSpread = 5 * simtime.Second
+	res := mustRun(t, cfg, Hooks{})
+	checkConsistency(t, res)
+}
+
+func TestOneWindowPeriods(t *testing.T) {
+	// Period == forecast window: exactly one window per period, so BLA
+	// degenerates to (battery-aware) ALOHA.
+	cfg := smallScenario(config.ProtocolBLA)
+	cfg.PeriodMin = cfg.ForecastWindow
+	cfg.PeriodMax = cfg.ForecastWindow
+	cfg.Duration = 6 * simtime.Hour
+	res := mustRun(t, cfg, Hooks{})
+	checkConsistency(t, res)
+	for _, n := range res.Nodes {
+		for _, b := range n.Stats.WindowHist.Buckets() {
+			if b != 0 {
+				t.Fatalf("single-window period transmitted in window %d", b)
+			}
+		}
+	}
+}
+
+func TestManyChannelsUncongested(t *testing.T) {
+	cfg := smallScenario(config.ProtocolLoRaWAN)
+	cfg.Channels = 8
+	res := mustRun(t, cfg, Hooks{})
+	checkConsistency(t, res)
+	var prrSum float64
+	for _, n := range res.Nodes {
+		prrSum += n.Stats.PRR()
+	}
+	if mean := prrSum / float64(len(res.Nodes)); mean < 0.95 {
+		t.Errorf("8-channel 15-node network PRR %v, want nearly lossless", mean)
+	}
+}
+
+func TestRunShorterThanFirstPeriod(t *testing.T) {
+	cfg := smallScenario(config.ProtocolBLA)
+	cfg.Duration = simtime.Minute
+	res := mustRun(t, cfg, Hooks{})
+	checkConsistency(t, res)
+}
+
+func TestTinyBatteries(t *testing.T) {
+	cfg := smallScenario(config.ProtocolBLA)
+	cfg.BatteryCapacityJ = 0.05 // barely one transmission
+	res := mustRun(t, cfg, Hooks{})
+	checkConsistency(t, res)
+}
+
+func TestHugeNetworkSingleDay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("300-node run")
+	}
+	cfg := smallScenario(config.ProtocolBLA)
+	cfg.Nodes = 300
+	cfg.Duration = simtime.Day
+	res := mustRun(t, cfg, Hooks{})
+	checkConsistency(t, res)
+	if len(res.Nodes) != 300 {
+		t.Fatalf("nodes = %d", len(res.Nodes))
+	}
+}

@@ -1,0 +1,108 @@
+// Package sim is the discrete-event LoRaWAN network simulator that
+// replaces the paper's NS-3 setup: class-A nodes with retransmissions,
+// a half-duplex multi-demodulator gateway, capture-based collision
+// resolution, lazy per-node energy integration against the solar
+// substrate, and the gateway-side degradation pipeline. Multi-year runs
+// (the paper simulates up to 15 years) are the design target.
+package sim
+
+import (
+	"container/heap"
+
+	"repro/internal/simtime"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at  simtime.Time
+	seq uint64 // schedule order, to break timestamp ties deterministically
+	fn  func()
+}
+
+// eventHeap is a min-heap over (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event executor. Events scheduled
+// for the same instant run in schedule order. Engine is not safe for
+// concurrent use.
+type Engine struct {
+	now  simtime.Time
+	pq   eventHeap
+	seq  uint64
+	stop bool
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() simtime.Time { return e.now }
+
+// Schedule enqueues fn at the given instant; past instants are clamped
+// to now (the event still runs, immediately after current-time events).
+func (e *Engine) Schedule(at simtime.Time, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: at, seq: e.seq, fn: fn})
+}
+
+// ScheduleAfter enqueues fn after the given delay.
+func (e *Engine) ScheduleAfter(d simtime.Duration, fn func()) {
+	e.Schedule(e.now.Add(d), fn)
+}
+
+// Stop makes Run return after the current event.
+func (e *Engine) Stop() { e.stop = true }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Step executes the next event; it reports false when the queue is
+// empty.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains, the horizon passes, or
+// Stop is called. The clock ends at min(horizon, last event) — or at
+// the horizon exactly if events remain beyond it.
+func (e *Engine) Run(horizon simtime.Time) {
+	e.stop = false
+	for !e.stop && len(e.pq) > 0 && e.pq[0].at <= horizon {
+		ev := heap.Pop(&e.pq).(event)
+		e.now = ev.at
+		ev.fn()
+	}
+	if !e.stop && e.now < horizon {
+		e.now = horizon
+	}
+}

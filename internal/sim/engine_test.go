@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.Run(simtime.Time(100))
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 100 {
+		t.Errorf("Now = %v, want horizon 100", e.Now())
+	}
+}
+
+func TestEngineTieBreakByScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run(10)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("tie order %v, want schedule order", got)
+		}
+	}
+}
+
+func TestEnginePastEventsClampToNow(t *testing.T) {
+	e := NewEngine()
+	var ranAt simtime.Time
+	e.Schedule(50, func() {
+		e.Schedule(10, func() { ranAt = e.Now() }) // in the past
+	})
+	e.Run(100)
+	if ranAt != 50 {
+		t.Errorf("past event ran at %v, want clamped to 50", ranAt)
+	}
+}
+
+func TestEngineHorizonStopsEarly(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(200, func() { ran = true })
+	e.Run(100)
+	if ran {
+		t.Error("event beyond horizon must not run")
+	}
+	if e.Now() != 100 {
+		t.Errorf("Now = %v, want 100", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+	// Resuming past the event runs it.
+	e.Run(300)
+	if !ran {
+		t.Error("event should run on resumed horizon")
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count == 3 {
+			e.Stop()
+			return
+		}
+		e.ScheduleAfter(10, tick)
+	}
+	e.Schedule(0, tick)
+	e.Run(simtime.Time(simtime.Hour))
+	if count != 3 {
+		t.Errorf("ticks = %d, want 3 (stopped)", count)
+	}
+	if e.Now() != 20 {
+		t.Errorf("Now = %v, want 20 (time of the stopping event)", e.Now())
+	}
+}
+
+func TestEngineStep(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Error("Step on empty queue should report false")
+	}
+	ran := false
+	e.Schedule(7, func() { ran = true })
+	if !e.Step() || !ran || e.Now() != 7 {
+		t.Errorf("Step: ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestEngineRecursiveScheduling(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recur func()
+	recur = func() {
+		depth++
+		if depth < 100 {
+			e.ScheduleAfter(1, recur)
+		}
+	}
+	e.Schedule(0, recur)
+	e.Run(simtime.Time(simtime.Hour))
+	if depth != 100 {
+		t.Errorf("depth = %d, want 100", depth)
+	}
+}
+
+// TestEngineMonotonicTimeProperty: under random scheduling (including
+// events that schedule more events), execution times never go backwards
+// and every event at or before the horizon runs.
+func TestEngineMonotonicTimeProperty(t *testing.T) {
+	f := func(seed uint64, rawN uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 0xe49))
+		e := NewEngine()
+		n := int(rawN%40) + 1
+		var (
+			executed int
+			last     simtime.Time
+			ok       = true
+		)
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			at := simtime.Time(rng.Int64N(1000))
+			e.Schedule(at, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+				executed++
+				if depth < 2 && rng.IntN(3) == 0 {
+					schedule(depth + 1)
+				}
+			})
+		}
+		for i := 0; i < n; i++ {
+			schedule(0)
+		}
+		e.Run(simtime.Time(2000))
+		return ok && executed >= n && e.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"repro/internal/lora"
+	"repro/internal/radio"
+	"repro/internal/simtime"
+)
+
+// Transmission is one uplink packet on the air, tracked from start to
+// end for collision resolution at every gateway. The paper's system
+// model allows "one or more gateways"; reception state is therefore kept
+// per gateway and a packet is delivered if any gateway decodes it.
+type Transmission struct {
+	NodeID  int
+	Channel int
+	SF      lora.SpreadingFactor
+	// PowerDBm is the received power at each gateway.
+	PowerDBm []float64
+	Start    simtime.Time
+	End      simtime.Time
+
+	corrupted []bool // lost to co-SF interference or gateway downlink
+	weak      []bool // below receiver sensitivity
+	unlocked  []bool // no demodulator free / gateway deaf at start
+
+	anyViable bool // at least one gateway could still decode
+}
+
+// Medium arbitrates the shared radio channel as the gateways perceive
+// it: capture-based co-SF collisions per channel and per gateway, a
+// demodulator budget of omega concurrent uplinks per gateway, and
+// half-duplex deafness while a gateway transmits ACKs.
+type Medium struct {
+	bw       lora.Bandwidth
+	omega    int
+	gateways int
+	active   []*Transmission
+	gwTxEnd  []simtime.Time // actual downlink in progress, per gateway
+	reserved []simtime.Time // promised downlink slots, per gateway
+}
+
+// NewMedium returns a medium for the given channel bandwidth, gateway
+// demodulator count omega, and number of gateways (clamped to >= 1).
+func NewMedium(bw lora.Bandwidth, omega int, gateways int) *Medium {
+	if gateways < 1 {
+		gateways = 1
+	}
+	return &Medium{
+		bw:       bw,
+		omega:    omega,
+		gateways: gateways,
+		gwTxEnd:  make([]simtime.Time, gateways),
+		reserved: make([]simtime.Time, gateways),
+	}
+}
+
+// Gateways returns the number of gateways.
+func (m *Medium) Gateways() int { return m.gateways }
+
+// BeginUplink registers a transmission starting now. Collision state is
+// updated immediately for the new signal and every overlapping one, at
+// every gateway. tx.PowerDBm must have one entry per gateway.
+func (m *Medium) BeginUplink(tx *Transmission) {
+	tx.weak = make([]bool, m.gateways)
+	tx.corrupted = make([]bool, m.gateways)
+	tx.unlocked = make([]bool, m.gateways)
+
+	sens := lora.Sensitivity(tx.SF, m.bw)
+	for g := 0; g < m.gateways; g++ {
+		if tx.PowerDBm[g] < sens {
+			// Below sensitivity at this gateway: never decodable there and
+			// too faint to matter as interference.
+			tx.weak[g] = true
+			continue
+		}
+		// Half-duplex gateway: a signal arriving while the gateway
+		// transmits cannot be preamble-locked.
+		if m.gwTxEnd[g] > tx.Start {
+			tx.unlocked[g] = true
+		}
+		// Demodulator budget: omega concurrent locked uplinks per gateway.
+		locked := 0
+		for _, a := range m.active {
+			if !a.weak[g] && !a.unlocked[g] {
+				locked++
+			}
+		}
+		if locked >= m.omega {
+			tx.unlocked[g] = true
+		}
+		// Co-channel, co-SF capture at this gateway; different SFs are
+		// quasi-orthogonal.
+		for _, a := range m.active {
+			if a.Channel != tx.Channel || a.SF != tx.SF || a.weak[g] {
+				continue
+			}
+			if !radio.Captures(tx.PowerDBm[g], []float64{a.PowerDBm[g]}) {
+				tx.corrupted[g] = true
+			}
+			if !radio.Captures(a.PowerDBm[g], []float64{tx.PowerDBm[g]}) {
+				a.corrupted[g] = true
+			}
+		}
+	}
+	if m.viableAnywhere(tx) {
+		tx.anyViable = true
+	}
+	m.active = append(m.active, tx)
+}
+
+func (m *Medium) viableAnywhere(tx *Transmission) bool {
+	for g := 0; g < m.gateways; g++ {
+		if !tx.weak[g] {
+			return true
+		}
+	}
+	return false
+}
+
+// EndUplink removes the transmission and returns the gateways that
+// decoded it, strongest signal first (empty when the packet was lost
+// everywhere). Any of them can serve the ACK; callers fall back down
+// the list when a gateway's downlink radio is booked.
+func (m *Medium) EndUplink(tx *Transmission) []int {
+	for i, a := range m.active {
+		if a == tx {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
+	if tx.weak == nil {
+		// Never begun (constructed by hand in tests): per-gateway state is
+		// absent; treat as a clean single-gateway reception.
+		return []int{0}
+	}
+	var decoded []int
+	for g := 0; g < m.gateways; g++ {
+		if tx.weak[g] || tx.corrupted[g] || tx.unlocked[g] {
+			continue
+		}
+		decoded = append(decoded, g)
+	}
+	// Insertion sort by descending power (the list has at most a few
+	// entries).
+	for i := 1; i < len(decoded); i++ {
+		g := decoded[i]
+		j := i - 1
+		for j >= 0 && tx.PowerDBm[decoded[j]] < tx.PowerDBm[g] {
+			decoded[j+1] = decoded[j]
+			j--
+		}
+		decoded[j+1] = g
+	}
+	return decoded
+}
+
+// ReserveDownlink atomically claims gateway gw's radio for [start, end):
+// it returns false when an earlier reservation or transmission still
+// holds that radio at start. The caller must later invoke BeginDownlink
+// at the reserved start.
+func (m *Medium) ReserveDownlink(gw int, start, end simtime.Time) bool {
+	if m.reserved[gw] > start || m.gwTxEnd[gw] > start {
+		return false
+	}
+	m.reserved[gw] = end
+	return true
+}
+
+// BeginDownlink marks gateway gw as transmitting until the given
+// instant. A single-radio gateway cannot receive while transmitting, so
+// every uplink currently on the air loses that gateway (it may still be
+// decoded elsewhere).
+func (m *Medium) BeginDownlink(gw int, until simtime.Time) {
+	if until > m.gwTxEnd[gw] {
+		m.gwTxEnd[gw] = until
+	}
+	for _, a := range m.active {
+		a.corrupted[gw] = true
+	}
+}
+
+// ActiveUplinks returns the number of transmissions currently on the
+// air that at least one gateway could still decode.
+func (m *Medium) ActiveUplinks() int {
+	n := 0
+	for _, a := range m.active {
+		if a.anyViable {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/lora"
+	"repro/internal/simtime"
+)
+
+func tx(node, ch int, sf lora.SpreadingFactor, power float64, startMs, endMs int64) *Transmission {
+	return &Transmission{
+		NodeID:   node,
+		Channel:  ch,
+		SF:       sf,
+		PowerDBm: []float64{power},
+		Start:    simtime.Time(startMs),
+		End:      simtime.Time(endMs),
+	}
+}
+
+func mustDecode(t *testing.T, m *Medium, a *Transmission) int {
+	t.Helper()
+	gws := m.EndUplink(a)
+	if len(gws) == 0 {
+		t.Fatal("expected decode")
+	}
+	return gws[0]
+}
+
+func mustLose(t *testing.T, m *Medium, a *Transmission) {
+	t.Helper()
+	if gws := m.EndUplink(a); len(gws) != 0 {
+		t.Fatal("expected loss")
+	}
+}
+
+func TestMediumCleanReception(t *testing.T) {
+	m := NewMedium(lora.BW125, 8, 1)
+	a := tx(1, 0, lora.SF10, -100, 0, 250)
+	m.BeginUplink(a)
+	if got := m.ActiveUplinks(); got != 1 {
+		t.Errorf("active = %d, want 1", got)
+	}
+	mustDecode(t, m, a)
+	if got := m.ActiveUplinks(); got != 0 {
+		t.Errorf("active after end = %d, want 0", got)
+	}
+}
+
+func TestMediumWeakSignal(t *testing.T) {
+	m := NewMedium(lora.BW125, 8, 1)
+	a := tx(1, 0, lora.SF7, -130, 0, 50) // below SF7 sensitivity (-123)
+	m.BeginUplink(a)
+	if m.ActiveUplinks() != 0 {
+		t.Error("weak signal should not count as viable")
+	}
+	mustLose(t, m, a)
+}
+
+func TestMediumCoSFCollisionBothLost(t *testing.T) {
+	m := NewMedium(lora.BW125, 8, 1)
+	a := tx(1, 0, lora.SF10, -100, 0, 250)
+	b := tx(2, 0, lora.SF10, -101, 10, 260) // within 6 dB: both lost
+	m.BeginUplink(a)
+	m.BeginUplink(b)
+	mustLose(t, m, a)
+	mustLose(t, m, b)
+}
+
+func TestMediumCapture(t *testing.T) {
+	m := NewMedium(lora.BW125, 8, 1)
+	strong := tx(1, 0, lora.SF10, -90, 0, 250)
+	faint := tx(2, 0, lora.SF10, -100, 10, 260) // 10 dB below: captured over
+	m.BeginUplink(strong)
+	m.BeginUplink(faint)
+	mustDecode(t, m, strong)
+	mustLose(t, m, faint)
+}
+
+func TestMediumDifferentSFOrthogonal(t *testing.T) {
+	m := NewMedium(lora.BW125, 8, 1)
+	a := tx(1, 0, lora.SF10, -100, 0, 250)
+	b := tx(2, 0, lora.SF9, -100, 10, 200)
+	m.BeginUplink(a)
+	m.BeginUplink(b)
+	mustDecode(t, m, b)
+	mustDecode(t, m, a)
+}
+
+func TestMediumDifferentChannels(t *testing.T) {
+	m := NewMedium(lora.BW125, 8, 1)
+	a := tx(1, 0, lora.SF10, -100, 0, 250)
+	b := tx(2, 1, lora.SF10, -100, 10, 260)
+	m.BeginUplink(a)
+	m.BeginUplink(b)
+	mustDecode(t, m, a)
+	mustDecode(t, m, b)
+}
+
+func TestMediumDemodulatorBudget(t *testing.T) {
+	m := NewMedium(lora.BW125, 2, 1)
+	// Three simultaneous clean signals on different SFs, but only 2 demods.
+	a := tx(1, 0, lora.SF8, -100, 0, 200)
+	b := tx(2, 0, lora.SF9, -100, 0, 200)
+	c := tx(3, 0, lora.SF10, -100, 0, 200)
+	m.BeginUplink(a)
+	m.BeginUplink(b)
+	m.BeginUplink(c)
+	mustDecode(t, m, a)
+	mustDecode(t, m, b)
+	mustLose(t, m, c)
+}
+
+func TestMediumGatewayDeafWhileTransmitting(t *testing.T) {
+	m := NewMedium(lora.BW125, 8, 1)
+	if !m.ReserveDownlink(0, 100, 400) {
+		t.Fatal("reservation should succeed")
+	}
+	m.BeginDownlink(0, 400)
+	a := tx(1, 0, lora.SF10, -100, 200, 500) // arrives mid-downlink
+	m.BeginUplink(a)
+	mustLose(t, m, a)
+}
+
+func TestMediumDownlinkAbortsOngoingReceptions(t *testing.T) {
+	m := NewMedium(lora.BW125, 8, 1)
+	a := tx(1, 0, lora.SF10, -100, 0, 500)
+	m.BeginUplink(a)
+	m.BeginDownlink(0, 300) // ACK for some earlier packet fires at t=100
+	mustLose(t, m, a)
+}
+
+func TestMediumReservation(t *testing.T) {
+	m := NewMedium(lora.BW125, 8, 1)
+	if !m.ReserveDownlink(0, 100, 300) {
+		t.Fatal("first reservation should succeed")
+	}
+	if m.ReserveDownlink(0, 200, 400) {
+		t.Error("overlapping reservation should fail")
+	}
+	if !m.ReserveDownlink(0, 300, 500) {
+		t.Error("back-to-back reservation should succeed")
+	}
+}
+
+func TestMediumEndUnknownTransmission(t *testing.T) {
+	m := NewMedium(lora.BW125, 8, 1)
+	a := tx(1, 0, lora.SF10, -100, 0, 100)
+	// EndUplink on a never-begun transmission must not panic or corrupt
+	// state (per-gateway flags are absent).
+	if gws := m.EndUplink(a); len(gws) == 0 {
+		t.Error("flag-free transmission reports decodable")
+	}
+	if m.ActiveUplinks() != 0 {
+		t.Error("medium corrupted by unknown EndUplink")
+	}
+}
+
+// --- multi-gateway behaviour ---
+
+func tx2(node int, sf lora.SpreadingFactor, p0, p1 float64, startMs, endMs int64) *Transmission {
+	return &Transmission{
+		NodeID:   node,
+		Channel:  0,
+		SF:       sf,
+		PowerDBm: []float64{p0, p1},
+		Start:    simtime.Time(startMs),
+		End:      simtime.Time(endMs),
+	}
+}
+
+func TestMediumSecondGatewayRescues(t *testing.T) {
+	m := NewMedium(lora.BW125, 8, 2)
+	// a and b collide at gateway 0 (similar power) but node b is right
+	// next to gateway 1 where it captures cleanly.
+	a := tx2(1, lora.SF10, -100, -125, 0, 250)
+	b := tx2(2, lora.SF10, -101, -95, 10, 260)
+	m.BeginUplink(a)
+	m.BeginUplink(b)
+	mustLose(t, m, a) // lost at 0 (collision) and 1 (capture by b)
+	if gw := mustDecode(t, m, b); gw != 1 {
+		t.Errorf("b decoded at gateway %d, want 1", gw)
+	}
+}
+
+func TestMediumBestGatewayWins(t *testing.T) {
+	m := NewMedium(lora.BW125, 8, 3)
+	a := &Transmission{
+		NodeID: 1, SF: lora.SF10,
+		PowerDBm: []float64{-110, -95, -120},
+		Start:    0, End: 250,
+	}
+	m.BeginUplink(a)
+	if gw := mustDecode(t, m, a); gw != 1 {
+		t.Errorf("decoded at gateway %d, want strongest (1)", gw)
+	}
+}
+
+func TestMediumPerGatewayDeafness(t *testing.T) {
+	m := NewMedium(lora.BW125, 8, 2)
+	m.BeginDownlink(0, 400) // gateway 0 transmitting
+	a := tx2(1, lora.SF10, -100, -105, 100, 350)
+	m.BeginUplink(a)
+	if gw := mustDecode(t, m, a); gw != 1 {
+		t.Errorf("decoded at gateway %d, want 1 (gateway 0 is deaf)", gw)
+	}
+}
+
+func TestMediumPerGatewayReservations(t *testing.T) {
+	m := NewMedium(lora.BW125, 8, 2)
+	if !m.ReserveDownlink(0, 100, 300) {
+		t.Fatal("gateway 0 reservation should succeed")
+	}
+	if !m.ReserveDownlink(1, 100, 300) {
+		t.Error("gateway 1 is independent and should also accept")
+	}
+	if m.ReserveDownlink(0, 150, 350) {
+		t.Error("gateway 0 is booked")
+	}
+}
+
+func TestMediumWeakAtOneGatewayOnly(t *testing.T) {
+	m := NewMedium(lora.BW125, 8, 2)
+	// Below sensitivity at gateway 0, fine at gateway 1.
+	a := tx2(1, lora.SF7, -130, -100, 0, 50)
+	m.BeginUplink(a)
+	if m.ActiveUplinks() != 1 {
+		t.Error("signal viable at gateway 1 should count")
+	}
+	if gw := mustDecode(t, m, a); gw != 1 {
+		t.Errorf("decoded at %d, want 1", gw)
+	}
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/battery"
+	"repro/internal/energy"
+	"repro/internal/lora"
+	"repro/internal/mac"
+	"repro/internal/metrics"
+	"repro/internal/radio"
+	"repro/internal/simtime"
+)
+
+// Node is one simulated end device.
+type Node struct {
+	ID        int
+	Pos       radio.Position
+	DistanceM float64
+	Params    lora.Params
+	Period    simtime.Duration
+	Windows   int // forecast windows per sampling period
+	CapacityJ float64
+
+	Proto mac.Protocol
+	Batt  battery.Store
+	Stats *metrics.NodeStats
+
+	src        energy.Source
+	fc         energy.Forecaster
+	rng        *rand.Rand
+	sleepW     float64   // baseline power draw in watts
+	rxPowerDBm []float64 // static received power at each gateway
+
+	rxEnergyJ  float64          // receive-window cost per attempt
+	ackAirtime simtime.Duration // downlink ACK duration at this SF
+
+	lastIntegrated simtime.Time
+	extraDrawJ     float64 // radio energy awaiting the next balance chunk
+	pkt            *packet
+	pendingTrans   []battery.Transition // SoC transitions awaiting report
+}
+
+// draw charges radio energy against the node's energy balance. Per the
+// paper's software-defined switch (Eq. 5), consumption within a window
+// is netted against that window's green generation; only the shortfall
+// discharges the battery, so a transmission fully covered by harvest
+// causes no SoC dip at all.
+func (n *Node) draw(joules float64) { n.extraDrawJ += joules }
+
+// paramsForAttempt applies the LoRaWAN retransmission back-off: the data
+// rate drops (SF rises) every two attempts, up to SF12. Retransmissions
+// therefore cost progressively more energy and airtime — the mechanism
+// that makes collision-heavy pure ALOHA so expensive for the battery.
+func (n *Node) paramsForAttempt(attemptIdx int) lora.Params {
+	p := n.Params
+	sf := p.SF + lora.SpreadingFactor(attemptIdx/2)
+	if sf > lora.MaxSF {
+		sf = lora.MaxSF
+	}
+	p.SF = sf
+	return p
+}
+
+// packet is the in-flight uplink of a node (at most one at a time).
+type packet struct {
+	genAt        simtime.Time
+	deadline     simtime.Time // next packet's generation
+	window       int
+	attempts     int
+	radioEnergyJ float64 // total radio draw: transmissions + rx windows
+	finished     bool
+}
+
+// integrate advances the node's energy state from its last integration
+// point to now: per-minute harvesting (taught to the forecaster),
+// baseline sleep draw, and battery charge/discharge with the protocol's
+// theta cap applied by the battery itself.
+func (n *Node) integrate(to simtime.Time) {
+	from := n.lastIntegrated
+	if to <= from {
+		return
+	}
+	n.lastIntegrated = to
+	const minuteT = simtime.Time(simtime.Minute)
+	cursor := from
+	for cursor < to {
+		next := (cursor/minuteT + 1) * minuteT
+		if next > to {
+			next = to
+		}
+		harvest := n.src.Energy(cursor, next)
+		n.fc.Observe(cursor, next, harvest)
+		net := harvest - next.Sub(cursor).Seconds()*n.sleepW - n.extraDrawJ
+		n.extraDrawJ = 0
+		if net >= 0 {
+			n.Batt.Charge(next, net)
+		} else {
+			n.Batt.Discharge(next, -net)
+		}
+		cursor = next
+	}
+}
+
+// drainReports appends the battery's new SoC transitions to the pending
+// report queue, compressed to the paper's two-per-period budget: only
+// the extreme (min and max SoC) transitions of each drain survive.
+func (n *Node) drainReports() {
+	trans := n.Batt.DrainTransitions()
+	if len(trans) == 0 {
+		return
+	}
+	if len(trans) > 2 {
+		loIdx, hiIdx := 0, 0
+		for i, tr := range trans {
+			if tr.SoC < trans[loIdx].SoC {
+				loIdx = i
+			}
+			if tr.SoC > trans[hiIdx].SoC {
+				hiIdx = i
+			}
+		}
+		first, second := loIdx, hiIdx
+		if first > second {
+			first, second = second, first
+		}
+		if first == second {
+			trans = trans[first : first+1]
+		} else {
+			trans = []battery.Transition{trans[first], trans[second]}
+		}
+	}
+	n.pendingTrans = append(n.pendingTrans, trans...)
+	// Bound the backlog: a node that cannot deliver for a long time keeps
+	// only the most recent reports (the gateway tolerates gaps).
+	const maxBacklog = 16
+	if len(n.pendingTrans) > maxBacklog {
+		n.pendingTrans = append(n.pendingTrans[:0], n.pendingTrans[len(n.pendingTrans)-maxBacklog:]...)
+	}
+}
+
+// encodeReports converts pending transitions to wire form relative to
+// the packet transmission time.
+func (n *Node) encodeReports(packetAt simtime.Time, window simtime.Duration) []battery.Report {
+	if len(n.pendingTrans) == 0 {
+		return nil
+	}
+	out := make([]battery.Report, len(n.pendingTrans))
+	for i, tr := range n.pendingTrans {
+		out[i] = battery.EncodeTransition(tr, packetAt, window)
+	}
+	return out
+}

@@ -1,0 +1,555 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/battery"
+	"repro/internal/config"
+	"repro/internal/energy"
+	"repro/internal/lora"
+	"repro/internal/mac"
+	"repro/internal/metrics"
+	"repro/internal/netserver"
+	"repro/internal/radio"
+	"repro/internal/simtime"
+	"repro/internal/utility"
+)
+
+// Protocol timing constants (LoRaWAN class A).
+const (
+	// rx1Delay separates uplink end from the first receive window.
+	rx1Delay = simtime.Second
+	// rxWindowsSpan is how long a node listens after an uplink before
+	// concluding no ACK will come (RX1 at +1 s, RX2 at +2 s plus window).
+	rxWindowsSpan = 3 * simtime.Second
+	// rxWindowSymbols approximates the open receive windows' listening
+	// time in preamble symbols when no downlink arrives.
+	rxWindowSymbols = 24
+	// maxReportsPerPacket bounds the SoC transition reports piggy-backed
+	// on one uplink.
+	maxReportsPerPacket = 8
+)
+
+// Hooks let experiments observe protocol internals without touching the
+// metric pipeline. All hooks are optional.
+type Hooks struct {
+	// OnDecision fires for every generated packet after the MAC decided.
+	OnDecision func(nodeID int, genAt simtime.Time, windows int, window int, drop bool)
+	// OnPacketDone fires when a packet's fate is settled.
+	OnPacketDone func(nodeID int, delivered bool, attempts int, window int)
+	// OnMonth fires every 30 simulated days with the node set, letting
+	// experiments sample degradation trajectories (Fig. 2/7).
+	OnMonth func(now simtime.Time, nodes []*Node)
+}
+
+// NodeResult is one node's final accounting.
+type NodeResult struct {
+	ID          int
+	DistanceM   float64
+	SF          lora.SpreadingFactor
+	Period      simtime.Duration
+	CapacityJ   float64
+	Stats       *metrics.NodeStats
+	Degradation battery.Breakdown
+	FinalSoC    float64
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Label   string
+	Elapsed simtime.Duration
+	Nodes   []NodeResult
+	// MonthlyMaxDeg records the network's maximum ground-truth capacity
+	// fade at the end of every 30-day month (Fig. 7).
+	MonthlyMaxDeg []float64
+	// LifespanDays is the network battery lifespan: days until the first
+	// battery reached EoL (0 when the run ended before that).
+	LifespanDays float64
+}
+
+// Simulation wires a scenario together and runs it.
+type Simulation struct {
+	cfg    config.Scenario
+	hooks  Hooks
+	eng    *Engine
+	med    *Medium
+	server *netserver.Server
+	nodes  []*Node
+	util   utility.Function
+	gwPos  []radio.Position
+
+	monthly      []float64
+	lifespanDays float64
+}
+
+// New builds a simulation from a validated scenario.
+func New(cfg config.Scenario, hooks Hooks) (*Simulation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	trace, err := energy.NewYearTrace(cfg.Solar)
+	if err != nil {
+		return nil, err
+	}
+	server, err := netserver.New(cfg.BatteryModel, cfg.BatteryTempC, cfg.DegradationInterval)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulation{
+		cfg:    cfg,
+		hooks:  hooks,
+		eng:    NewEngine(),
+		med:    NewMedium(lora.BW125, cfg.Demodulators, cfg.Gateways),
+		server: server,
+		util:   utility.Linear{},
+		gwPos:  radio.GatewayLayout(cfg.Gateways, cfg.MaxDistanceM),
+	}
+	for id := 0; id < cfg.Nodes; id++ {
+		n, err := s.buildNode(id, trace)
+		if err != nil {
+			return nil, fmt.Errorf("sim: node %d: %w", id, err)
+		}
+		s.nodes = append(s.nodes, n)
+		server.Register(id, cfg.InitialSoC)
+	}
+	return s, nil
+}
+
+// buildNode constructs one node: placement, SF assignment, battery
+// sizing, energy source, forecaster, and protocol instance.
+func (s *Simulation) buildNode(id int, trace *energy.YearTrace) (*Node, error) {
+	cfg := s.cfg
+	rng := rand.New(rand.NewPCG(cfg.Seed, uint64(id)+0x4ead))
+
+	// Placement: uniform over the disk, resampled until the link budget
+	// closes to at least one gateway (the paper assumes every node is
+	// reachable).
+	var pos radio.Position
+	var sf lora.SpreadingFactor
+	var rxPerGW []float64
+	for try := 0; ; try++ {
+		r := cfg.MaxDistanceM * math.Sqrt(rng.Float64())
+		theta := 2 * math.Pi * rng.Float64()
+		pos = radio.Position{X: r * math.Cos(theta), Y: r * math.Sin(theta)}
+		rxPerGW = s.rxPowers(pos, id)
+		if cfg.FixedSF != 0 {
+			sf = cfg.FixedSF
+			break
+		}
+		var ok bool
+		if sf, ok = radio.AssignSF(maxOf(rxPerGW), cfg.SFMarginDB, lora.BW125); ok {
+			break
+		}
+		if try >= 100 {
+			// Pathological shadowing draw: pin the node near the gateway.
+			pos = radio.Position{X: 100}
+			rxPerGW = s.rxPowers(pos, id)
+			sf, _ = radio.AssignSF(maxOf(rxPerGW), cfg.SFMarginDB, lora.BW125)
+			break
+		}
+	}
+
+	params := lora.DefaultParams()
+	params.SF = sf
+	params.TxPowerDBm = cfg.TxPowerDBm
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Sampling period, snapped to whole forecast windows.
+	span := int64(cfg.PeriodMax-cfg.PeriodMin) + 1
+	period := cfg.PeriodMin + simtime.Duration(rng.Int64N(span))
+	windows := int(period / cfg.ForecastWindow)
+	period = simtime.Duration(windows) * cfg.ForecastWindow
+
+	// Reference energies: one attempt carrying the base payload plus a
+	// typical two-report piggyback.
+	refPayload := cfg.PayloadBytes + 2*battery.ReportSize
+	txE := params.TxEnergy(refPayload)
+	rxE := lora.RxPower() * float64(rxWindowSymbols) * params.SymbolTime()
+	ackAirtime := params.Airtime(cfg.AckPayloadBytes)
+
+	// Battery sizing: 24 h of autonomous operation (Sec. II-C) unless
+	// the scenario pins a capacity.
+	capacity := cfg.BatteryCapacityJ
+	if capacity == 0 {
+		perDay := simtime.Day.Seconds() / period.Seconds()
+		capacity = cfg.SleepPowerW*simtime.Day.Seconds() + perDay*cfg.BatterySizingAttempts*(txE+rxE)
+	}
+	var store battery.Store
+	batt, err := battery.New(cfg.BatteryModel, capacity, cfg.InitialSoC, cfg.BatteryTempC)
+	if err != nil {
+		return nil, err
+	}
+	store = batt
+	if cfg.SupercapJ > 0 {
+		if store, err = battery.NewHybrid(batt, cfg.SupercapJ, cfg.SupercapLeakW); err != nil {
+			return nil, err
+		}
+	}
+
+	// Panel sizing: peak generation funds PanelPeakMultiple transmissions
+	// per forecast window (Sec. II-C), floored so that a day of sun also
+	// covers the always-on sleep draw — low-SF nodes transmit so cheaply
+	// that the paper's TX-based rule alone would starve them.
+	peakW := max(energy.PeakPowerFor(txE, cfg.ForecastWindow, cfg.PanelPeakMultiple), 10*cfg.SleepPowerW)
+	src := trace.NodeSource(id, peakW, cfg.SolarVariation)
+
+	var fc energy.Forecaster
+	switch cfg.Forecast {
+	case config.ForecastPerfect:
+		fc = &energy.Perfect{Source: src}
+	case config.ForecastNoisy:
+		fc = energy.NewNoisy(src, cfg.ForecastNoise, cfg.Seed^uint64(id)*0x9e37)
+	default:
+		ewma := energy.NewDiurnalEWMA(0.3)
+		ewma.Prime(src, cfg.ForecastPrimeDays)
+		fc = ewma
+	}
+
+	var proto mac.Protocol
+	switch cfg.Protocol {
+	case config.ProtocolLoRaWAN:
+		proto = mac.ALOHA{}
+	case config.ProtocolThetaOnly:
+		if proto, err = mac.NewThetaOnly(cfg.Theta); err != nil {
+			return nil, err
+		}
+	default:
+		if proto, err = mac.NewBLA(mac.BLAConfig{
+			Theta:              cfg.Theta,
+			WeightB:            cfg.WeightB,
+			Beta:               cfg.Beta,
+			Utility:            cfg.Utility,
+			Forecaster:         fc,
+			Window:             cfg.ForecastWindow,
+			MaxWindows:         int(cfg.PeriodMax / cfg.ForecastWindow),
+			SingleTxEnergyJ:    txE,
+			MaxAttempts:        cfg.MaxAttempts,
+			DisableRetxHistory: cfg.DisableRetxHistory,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	store.SetChargeLimit(proto.Theta())
+
+	return &Node{
+		ID:         id,
+		Pos:        pos,
+		rxPowerDBm: rxPerGW,
+		DistanceM:  pos.DistanceTo(radio.Position{}),
+		Params:     params,
+		Period:     period,
+		Windows:    windows,
+		CapacityJ:  capacity,
+		Proto:      proto,
+		Batt:       store,
+		Stats:      metrics.NewNodeStats(),
+		src:        src,
+		fc:         fc,
+		rng:        rng,
+		sleepW:     cfg.SleepPowerW,
+		rxEnergyJ:  rxE,
+		ackAirtime: ackAirtime,
+	}, nil
+}
+
+// Nodes exposes the node set for experiment probes.
+func (s *Simulation) Nodes() []*Node { return s.nodes }
+
+// Run executes the scenario and returns the result.
+func (s *Simulation) Run() (*Result, error) {
+	cfg := s.cfg
+	horizon := cfg.Duration
+	if cfg.RunToEoL {
+		horizon = cfg.MaxDuration
+	}
+
+	for _, n := range s.nodes {
+		n := n
+		spread := cfg.StartSpread
+		if spread == 0 {
+			spread = n.Period
+		}
+		first := simtime.Time(n.rng.Int64N(int64(spread)))
+		s.eng.Schedule(first, func() { s.generate(n) })
+	}
+	s.eng.Schedule(0, s.dailyTick)
+	s.eng.Schedule(simtime.Time(30*simtime.Day), s.monthlyTick)
+
+	s.eng.Run(simtime.Time(horizon))
+
+	now := s.eng.Now()
+	res := &Result{
+		Label:         cfg.ProtocolLabel(),
+		Elapsed:       simtime.Duration(now),
+		MonthlyMaxDeg: s.monthly,
+		LifespanDays:  s.lifespanDays,
+	}
+	for _, n := range s.nodes {
+		n.integrate(now)
+		res.Nodes = append(res.Nodes, NodeResult{
+			ID:          n.ID,
+			DistanceM:   n.DistanceM,
+			SF:          n.Params.SF,
+			Period:      n.Period,
+			CapacityJ:   n.CapacityJ,
+			Stats:       n.Stats,
+			Degradation: n.Batt.Damage(now),
+			FinalSoC:    n.Batt.SoC(),
+		})
+	}
+	return res, nil
+}
+
+// dailyTick runs the gateway's daily degradation recomputation and the
+// EoL stop condition.
+func (s *Simulation) dailyTick() {
+	now := s.eng.Now()
+	s.server.RecomputeIfDue(now)
+	if s.cfg.RunToEoL && s.maxGroundTruthDeg(now) >= s.cfg.BatteryModel.EoLThreshold {
+		s.lifespanDays = now.Days()
+		s.eng.Stop()
+		return
+	}
+	s.eng.ScheduleAfter(simtime.Day, s.dailyTick)
+}
+
+func (s *Simulation) monthlyTick() {
+	now := s.eng.Now()
+	s.monthly = append(s.monthly, s.maxGroundTruthDeg(now))
+	if s.hooks.OnMonth != nil {
+		s.hooks.OnMonth(now, s.nodes)
+	}
+	s.eng.ScheduleAfter(30*simtime.Day, s.monthlyTick)
+}
+
+func (s *Simulation) maxGroundTruthDeg(now simtime.Time) float64 {
+	var maxDeg float64
+	for _, n := range s.nodes {
+		maxDeg = math.Max(maxDeg, n.Batt.Degradation(now))
+	}
+	return maxDeg
+}
+
+// generate handles one packet generation at a node: abort any stale
+// in-flight packet, run the MAC decision, and schedule the transmission
+// attempt and the next generation.
+func (s *Simulation) generate(n *Node) {
+	now := s.eng.Now()
+	n.integrate(now)
+
+	if n.pkt != nil && !n.pkt.finished {
+		s.finish(n, n.pkt, false, now)
+	}
+
+	n.Stats.Generated++
+	dec := n.Proto.DecideTx(now, n.Windows, n.Batt.Stored())
+	if s.hooks.OnDecision != nil {
+		s.hooks.OnDecision(n.ID, now, n.Windows, dec.Window, dec.Drop)
+	}
+
+	if dec.Drop {
+		n.Stats.NeverSent++
+		n.Stats.Dropped++
+		n.Stats.LatencyPenalized += n.Period
+		if s.hooks.OnPacketDone != nil {
+			s.hooks.OnPacketDone(n.ID, false, 0, -1)
+		}
+	} else {
+		window := clampInt(dec.Window, 0, n.Windows-1)
+		pkt := &packet{
+			genAt:    now,
+			deadline: now.Add(n.Period),
+			window:   window,
+		}
+		n.pkt = pkt
+		n.Stats.WindowHist.Add(window)
+
+		var offset simtime.Duration
+		if dec.SpreadInWindow {
+			if spread := s.cfg.ForecastWindow - attemptSpan(n); spread > 0 {
+				offset = simtime.Duration(n.rng.Int64N(int64(spread)))
+			}
+		}
+		at := now.Add(simtime.Duration(window)*s.cfg.ForecastWindow + offset)
+		s.eng.Schedule(at, func() { s.attempt(n, pkt) })
+	}
+
+	s.eng.Schedule(now.Add(n.Period), func() { s.generate(n) })
+}
+
+// attemptSpan is the worst-case duration of one attempt: airtime plus
+// receive windows plus retransmission backoff headroom.
+func attemptSpan(n *Node) simtime.Duration {
+	return n.Params.Airtime(64) + rxWindowsSpan + 3*simtime.Second
+}
+
+// attempt transmits (or re-transmits) the packet if the battery can fund
+// it, deferring window by window otherwise.
+func (s *Simulation) attempt(n *Node, pkt *packet) {
+	if pkt.finished || n.pkt != pkt {
+		return
+	}
+	now := s.eng.Now()
+	n.integrate(now)
+
+	n.drainReports()
+	reports := n.pendingTrans
+	if len(reports) > maxReportsPerPacket {
+		reports = reports[len(reports)-maxReportsPerPacket:]
+	}
+	payload := s.cfg.PayloadBytes + battery.ReportSize*len(reports)
+	params := n.paramsForAttempt(pkt.attempts)
+	txE := params.TxEnergy(payload)
+
+	if !n.Batt.CanSupply(txE + n.rxEnergyJ) {
+		// Not enough stored energy: wait one forecast window for harvest,
+		// or give up at the period boundary.
+		retry := now.Add(s.cfg.ForecastWindow)
+		if retry.Add(attemptSpan(n)).After(pkt.deadline) {
+			s.finish(n, pkt, false, now)
+			return
+		}
+		s.eng.Schedule(retry, func() { s.attempt(n, pkt) })
+		return
+	}
+
+	pkt.attempts++
+	n.Stats.Attempts++
+	n.draw(txE)
+	pkt.radioEnergyJ += txE
+	n.Stats.TxEnergyJ += txE
+
+	airtime := params.Airtime(payload)
+	tx := &Transmission{
+		NodeID:   n.ID,
+		Channel:  n.ID % s.cfg.Channels,
+		SF:       params.SF,
+		PowerDBm: n.rxPowerDBm,
+		Start:    now,
+		End:      now.Add(airtime),
+	}
+	s.med.BeginUplink(tx)
+	s.eng.Schedule(tx.End, func() { s.txEnd(n, pkt, tx) })
+}
+
+// txEnd resolves one transmission attempt: gateway decoding, ACK
+// scheduling, or retransmission.
+func (s *Simulation) txEnd(n *Node, pkt *packet, tx *Transmission) {
+	if pkt.finished || n.pkt != pkt {
+		s.med.EndUplink(tx)
+		return
+	}
+	now := s.eng.Now()
+	n.integrate(now)
+
+	// Receive windows cost energy whether or not an ACK arrives.
+	n.draw(n.rxEnergyJ)
+	pkt.radioEnergyJ += n.rxEnergyJ
+
+	gws := s.med.EndUplink(tx)
+	if len(gws) > 0 {
+		s.server.Ingest(n.ID, n.encodeReports(now, s.cfg.ForecastWindow), now, s.cfg.ForecastWindow)
+		rx1 := now.Add(rx1Delay)
+		ackEnd := rx1.Add(n.ackAirtime)
+		for _, gw := range gws {
+			gw := gw
+			if s.med.ReserveDownlink(gw, rx1, ackEnd) {
+				s.eng.Schedule(rx1, func() { s.med.BeginDownlink(gw, ackEnd) })
+				s.eng.Schedule(ackEnd, func() { s.ackDelivered(n, pkt) })
+				return
+			}
+		}
+		// Every decoding gateway's radio is busy: the data arrived but the
+		// node will never know — it behaves exactly like a collision.
+	}
+	s.retryOrFail(n, pkt, now)
+}
+
+func (s *Simulation) retryOrFail(n *Node, pkt *packet, now simtime.Time) {
+	if pkt.attempts >= s.cfg.MaxAttempts {
+		s.finish(n, pkt, false, now)
+		return
+	}
+	backoff := 500*simtime.Millisecond + simtime.Duration(n.rng.Int64N(int64(2*simtime.Second)))
+	retry := now.Add(rxWindowsSpan + backoff)
+	if retry.After(pkt.deadline) {
+		s.finish(n, pkt, false, now)
+		return
+	}
+	s.eng.Schedule(retry, func() { s.attempt(n, pkt) })
+}
+
+// ackDelivered completes a packet successfully: the ACK carries the
+// gateway's latest normalized degradation for this node.
+func (s *Simulation) ackDelivered(n *Node, pkt *packet) {
+	if pkt.finished || n.pkt != pkt {
+		return
+	}
+	now := s.eng.Now()
+	n.integrate(now)
+	n.Proto.OnDegradationUpdate(s.server.NormalizedDegradation(n.ID))
+	n.pendingTrans = n.pendingTrans[:0] // reports delivered
+	s.finish(n, pkt, true, now)
+}
+
+// finish settles a packet's fate and updates metrics and protocol
+// learning.
+func (s *Simulation) finish(n *Node, pkt *packet, delivered bool, now simtime.Time) {
+	pkt.finished = true
+	n.pkt = nil
+
+	if delivered {
+		n.Stats.Delivered++
+		lat := now.Sub(pkt.genAt)
+		n.Stats.LatencyDelivered += lat
+		n.Stats.LatencyPenalized += lat
+		n.Stats.UtilitySum += s.util.Value(pkt.window, n.Windows)
+	} else {
+		n.Stats.Dropped++
+		n.Stats.LatencyPenalized += n.Period
+	}
+	if pkt.attempts > 0 {
+		n.Proto.OnOutcome(mac.Outcome{
+			Window:    pkt.window,
+			Attempts:  pkt.attempts,
+			EnergyJ:   pkt.radioEnergyJ,
+			Delivered: delivered,
+		})
+	}
+	if s.hooks.OnPacketDone != nil {
+		s.hooks.OnPacketDone(n.ID, delivered, pkt.attempts, pkt.window)
+	}
+}
+
+// rxPowers computes the node's static received power at every gateway.
+func (s *Simulation) rxPowers(pos radio.Position, id int) []float64 {
+	out := make([]float64, len(s.gwPos))
+	for g, gp := range s.gwPos {
+		out[g] = s.cfg.PathLoss.RxPowerBetweenDBm(s.cfg.TxPowerDBm, pos, gp, uint64(id)*131+uint64(g))
+	}
+	return out
+}
+
+func maxOf(xs []float64) float64 {
+	best := xs[0]
+	for _, x := range xs[1:] {
+		if x > best {
+			best = x
+		}
+	}
+	return best
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,93 @@
+// Package simtime defines the simulated-time types shared by every
+// subsystem of the repository.
+//
+// Simulated time is an int64 count of milliseconds since scenario start.
+// A dedicated type (rather than time.Time) keeps multi-year simulations
+// free of wall-clock concerns (time zones, monotonic clocks) and makes
+// arithmetic on the hot path allocation-free.
+package simtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is an instant in simulated time, in milliseconds since the start
+// of the scenario (t = 0).
+type Time int64
+
+// Duration is a span of simulated time in milliseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Millisecond Duration = 1
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+	Hour                 = 60 * Minute
+	Day                  = 24 * Hour
+)
+
+// Year is the length of a simulated year. A fixed 365-day year keeps the
+// synthetic solar trace aligned when simulations wrap across years.
+const Year = 365 * Day
+
+// FromDuration converts a wall-clock time.Duration to a simulated Duration.
+func FromDuration(d time.Duration) Duration {
+	return Duration(d.Milliseconds())
+}
+
+// Seconds returns the duration as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Minutes returns the duration as floating-point minutes.
+func (d Duration) Minutes() float64 { return float64(d) / float64(Minute) }
+
+// Hours returns the duration as floating-point hours.
+func (d Duration) Hours() float64 { return float64(d) / float64(Hour) }
+
+// Days returns the duration as floating-point days.
+func (d Duration) Days() float64 { return float64(d) / float64(Day) }
+
+// Std returns the duration as a wall-clock time.Duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) * time.Millisecond }
+
+// String formats the duration using the standard library's notation.
+func (d Duration) String() string { return d.Std().String() }
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t follows u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Seconds returns the instant as floating-point seconds since scenario start.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Days returns the instant as floating-point days since scenario start.
+func (t Time) Days() float64 { return float64(t) / float64(Day) }
+
+// DayIndex returns the zero-based day number containing t.
+func (t Time) DayIndex() int { return int(t / Time(Day)) }
+
+// TimeOfDay returns the offset of t within its day.
+func (t Time) TimeOfDay() Duration { return Duration(t % Time(Day)) }
+
+// DayOfYear returns the zero-based day within the simulated 365-day year.
+func (t Time) DayOfYear() int { return t.DayIndex() % 365 }
+
+// String formats the instant as "d<day> hh:mm:ss.mmm".
+func (t Time) String() string {
+	tod := t.TimeOfDay()
+	h := tod / Hour
+	m := (tod % Hour) / Minute
+	s := (tod % Minute) / Second
+	ms := tod % Second
+	return fmt.Sprintf("d%d %02d:%02d:%02d.%03d", t.DayIndex(), h, m, s, ms)
+}

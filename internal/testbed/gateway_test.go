@@ -1,0 +1,119 @@
+package testbed
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/battery"
+	"repro/internal/lora"
+	"repro/internal/netserver"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+)
+
+func newTestGateway(t *testing.T) *Gateway {
+	t.Helper()
+	server, err := netserver.New(battery.DefaultModel(), 25, simtime.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server.Register(1, 0.5)
+	server.Register(2, 0.5)
+	return NewGateway(sim.NewMedium(lora.BW125, 8, 1), server)
+}
+
+func gwTx(node int, power float64, start, end int64) *sim.Transmission {
+	return &sim.Transmission{
+		NodeID:   node,
+		SF:       lora.SF10,
+		PowerDBm: []float64{power},
+		Start:    simtime.Time(start),
+		End:      simtime.Time(end),
+	}
+}
+
+func TestGatewayUplinkAckFlow(t *testing.T) {
+	gw := newTestGateway(t)
+	tx := gwTx(1, -100, 0, 250)
+	gw.BeginUplink(tx)
+	decoded, ackReserved, ackEnd := gw.EndUplink(tx, 1, nil,
+		simtime.Time(250), simtime.Minute, simtime.Second, 200*simtime.Millisecond)
+	if !decoded || !ackReserved {
+		t.Fatalf("decoded=%v ackReserved=%v, want both", decoded, ackReserved)
+	}
+	want := simtime.Time(250).Add(simtime.Second + 200*simtime.Millisecond)
+	if ackEnd != want {
+		t.Errorf("ackEnd = %v, want %v", ackEnd, want)
+	}
+}
+
+func TestGatewayAckContention(t *testing.T) {
+	gw := newTestGateway(t)
+	a := gwTx(1, -100, 0, 250)
+	b := gwTx(2, -100, 300, 550) // different time, no air collision
+	gw.BeginUplink(a)
+	_, ackA, _ := gw.EndUplink(a, 1, nil, simtime.Time(250), simtime.Minute, simtime.Second, 2*simtime.Second)
+	gw.BeginUplink(b)
+	decodedB, ackB, _ := gw.EndUplink(b, 2, nil, simtime.Time(550), simtime.Minute, simtime.Second, 2*simtime.Second)
+	if !ackA {
+		t.Fatal("first ACK should reserve")
+	}
+	if !decodedB {
+		t.Fatal("second uplink should decode")
+	}
+	if ackB {
+		t.Error("second ACK overlaps the first reservation and must fail")
+	}
+}
+
+func TestGatewayCollisionLoss(t *testing.T) {
+	gw := newTestGateway(t)
+	a := gwTx(1, -100, 0, 250)
+	b := gwTx(2, -101, 10, 260)
+	gw.BeginUplink(a)
+	gw.BeginUplink(b)
+	if decoded, _, _ := gw.EndUplink(a, 1, nil, 250, simtime.Minute, simtime.Second, simtime.Second); decoded {
+		t.Error("collided uplink should be lost")
+	}
+}
+
+func TestGatewayIngestAndPayload(t *testing.T) {
+	gw := newTestGateway(t)
+	reports := []battery.Report{
+		battery.EncodeTransition(battery.Transition{At: 0, SoC: 0.9}, simtime.Time(simtime.Hour), simtime.Minute),
+		battery.EncodeTransition(battery.Transition{At: simtime.Time(30 * simtime.Minute), SoC: 0.3}, simtime.Time(simtime.Hour), simtime.Minute),
+	}
+	tx := gwTx(1, -100, 0, 250)
+	gw.BeginUplink(tx)
+	if decoded, _, _ := gw.EndUplink(tx, 1, reports, simtime.Time(simtime.Hour), simtime.Minute, simtime.Second, simtime.Second); !decoded {
+		t.Fatal("expected decode")
+	}
+	gw.Recompute(simtime.Time(simtime.Day))
+	// Node 1 cycled deep, node 2 idle: node 1 must carry w_u = 1.
+	if got := gw.AckPayload(1); got != 1 {
+		t.Errorf("w_u(1) = %v, want 1 (max degraded)", got)
+	}
+	if got := gw.AckPayload(2); got >= 1 {
+		t.Errorf("w_u(2) = %v, want < 1", got)
+	}
+}
+
+func TestGatewayConcurrentAccess(t *testing.T) {
+	gw := newTestGateway(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				start := int64(i*1000 + k*37)
+				tx := gwTx(1+i%2, -100, start, start+50)
+				gw.BeginUplink(tx)
+				gw.EndUplink(tx, 1+i%2, nil, simtime.Time(start+50), simtime.Minute, simtime.Second, simtime.Second)
+				gw.AckPayload(1)
+			}
+		}()
+	}
+	wg.Wait() // run with -race: the mutex must make this safe
+}

@@ -1,0 +1,109 @@
+// Package utility provides the data-utility functions the protocol
+// trades off against battery degradation. The paper defines utility as a
+// monotonically decreasing function of the delay between a packet's
+// generation and its transmission (Eq. 16) and notes the system designer
+// may pick per-node functions; this package offers the common families.
+package utility
+
+import (
+	"fmt"
+	"math"
+)
+
+// Function maps the chosen forecast window to the usefulness of the data
+// at transmission time.
+type Function interface {
+	// Value returns the utility, in [0,1], of transmitting in the given
+	// zero-based window of a sampling period that contains total windows.
+	Value(window, total int) float64
+	// Name identifies the function family in reports.
+	Name() string
+}
+
+// Linear is the paper's Eq. (16): utility decays linearly from 1 at
+// window 0 to 0 at the arrival of the next packet.
+type Linear struct{}
+
+var _ Function = Linear{}
+
+// Value implements Function.
+func (Linear) Value(window, total int) float64 {
+	if total <= 0 {
+		return 0
+	}
+	v := float64(total-window) / float64(total)
+	return min(1, max(0, v))
+}
+
+// Name implements Function.
+func (Linear) Name() string { return "linear" }
+
+// Exponential decays as e^(-Lambda * window/total), renormalized so that
+// window 0 yields exactly 1. Larger Lambda means faster staleness.
+type Exponential struct {
+	Lambda float64
+}
+
+var _ Function = Exponential{}
+
+// Value implements Function.
+func (e Exponential) Value(window, total int) float64 {
+	if total <= 0 || window >= total {
+		return 0
+	}
+	if window < 0 {
+		window = 0
+	}
+	lambda := e.Lambda
+	if lambda <= 0 {
+		lambda = 1
+	}
+	return math.Exp(-lambda * float64(window) / float64(total))
+}
+
+// Name implements Function.
+func (e Exponential) Name() string { return fmt.Sprintf("exp(%g)", e.Lambda) }
+
+// Deadline is a step function: full utility until the deadline fraction
+// of the period, then a residual Tail utility (often 0). It models
+// applications that only care about bounded staleness.
+type Deadline struct {
+	// Fraction of the period before which utility is 1, in (0,1].
+	Fraction float64
+	// Tail is the utility after the deadline, in [0,1).
+	Tail float64
+}
+
+var _ Function = Deadline{}
+
+// Value implements Function.
+func (d Deadline) Value(window, total int) float64 {
+	if total <= 0 || window >= total {
+		return 0
+	}
+	if float64(window) < d.Fraction*float64(total) {
+		return 1
+	}
+	return min(1, max(0, d.Tail))
+}
+
+// Name implements Function.
+func (d Deadline) Name() string { return fmt.Sprintf("deadline(%g,%g)", d.Fraction, d.Tail) }
+
+// Indifferent always returns 1: the application does not care about
+// delay within the period, so the protocol optimizes battery lifespan
+// alone.
+type Indifferent struct{}
+
+var _ Function = Indifferent{}
+
+// Value implements Function.
+func (Indifferent) Value(window, total int) float64 {
+	if total <= 0 || window >= total {
+		return 0
+	}
+	return 1
+}
+
+// Name implements Function.
+func (Indifferent) Name() string { return "indifferent" }

@@ -1,0 +1,128 @@
+package utility
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// allFunctions enumerates one instance of every family for shared
+// property tests.
+func allFunctions() []Function {
+	return []Function{
+		Linear{},
+		Exponential{Lambda: 2},
+		Exponential{}, // zero Lambda falls back to 1
+		Deadline{Fraction: 0.3, Tail: 0.1},
+		Deadline{Fraction: 0.5},
+		Indifferent{},
+	}
+}
+
+func TestLinearMatchesEq16(t *testing.T) {
+	tests := []struct {
+		window, total int
+		want          float64
+	}{
+		{0, 10, 1},
+		{1, 10, 0.9},
+		{5, 10, 0.5},
+		{9, 10, 0.1},
+		{10, 10, 0},
+		{15, 10, 0}, // past the period clamps to 0
+		{-1, 10, 1}, // before the period clamps to 1
+		{0, 0, 0},   // degenerate period
+	}
+	for _, tt := range tests {
+		if got := (Linear{}).Value(tt.window, tt.total); !almostEq(got, tt.want) {
+			t.Errorf("Linear.Value(%d,%d) = %v, want %v", tt.window, tt.total, got, tt.want)
+		}
+	}
+}
+
+func TestExponentialShape(t *testing.T) {
+	e := Exponential{Lambda: 2}
+	if got := e.Value(0, 10); !almostEq(got, 1) {
+		t.Errorf("Value(0) = %v, want 1", got)
+	}
+	if got := e.Value(10, 10); got != 0 {
+		t.Errorf("Value at next arrival = %v, want 0", got)
+	}
+	if e.Value(2, 10) <= e.Value(8, 10) {
+		t.Error("exponential utility must decrease")
+	}
+}
+
+func TestDeadlineShape(t *testing.T) {
+	d := Deadline{Fraction: 0.3, Tail: 0.1}
+	if got := d.Value(0, 10); got != 1 {
+		t.Errorf("before deadline = %v, want 1", got)
+	}
+	if got := d.Value(2, 10); got != 1 {
+		t.Errorf("just before deadline = %v, want 1", got)
+	}
+	if got := d.Value(3, 10); got != 0.1 {
+		t.Errorf("after deadline = %v, want tail 0.1", got)
+	}
+	if got := d.Value(10, 10); got != 0 {
+		t.Errorf("at next arrival = %v, want 0", got)
+	}
+}
+
+func TestIndifferent(t *testing.T) {
+	u := Indifferent{}
+	if got := u.Value(7, 10); got != 1 {
+		t.Errorf("Value = %v, want 1", got)
+	}
+	if got := u.Value(10, 10); got != 0 {
+		t.Errorf("at next arrival = %v, want 0", got)
+	}
+}
+
+// TestAllBounded: every family stays in [0,1] for arbitrary inputs.
+func TestAllBounded(t *testing.T) {
+	for _, fn := range allFunctions() {
+		fn := fn
+		t.Run(fn.Name(), func(t *testing.T) {
+			f := func(w int8, tot uint8) bool {
+				v := fn.Value(int(w), int(tot))
+				return v >= 0 && v <= 1
+			}
+			if err := quick.Check(f, nil); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestAllMonotoneNonIncreasing: utility never increases with delay.
+func TestAllMonotoneNonIncreasing(t *testing.T) {
+	for _, fn := range allFunctions() {
+		fn := fn
+		t.Run(fn.Name(), func(t *testing.T) {
+			f := func(rawW uint8, rawTot uint8) bool {
+				total := int(rawTot%60) + 2
+				w := int(rawW) % total
+				return fn.Value(w, total) >= fn.Value(w+1, total)-1e-12
+			}
+			if err := quick.Check(f, nil); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestNamesNonEmpty(t *testing.T) {
+	for _, fn := range allFunctions() {
+		if fn.Name() == "" {
+			t.Errorf("%T has empty name", fn)
+		}
+	}
+}
+
+func almostEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-12
+}
