@@ -1,0 +1,37 @@
+# Build/test/bench harness. `make bench` is the bench-regression
+# harness: it runs every benchmark with -benchmem and records a
+# machine-readable BENCH_<date>.json (ns/op, B/op, allocs/op, headline
+# domain metrics, and the sweep worker-scaling speedup) via
+# cmd/benchjson.
+
+GO        ?= go
+DATE      := $(shell date -u +%Y-%m-%d)
+BENCHRE   ?= .
+COUNT     ?= 1
+BENCHTIME ?= 1s
+
+.PHONY: all build test race vet bench clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Benchmarks run serially (-run '^$' skips tests); BENCHRE narrows the
+# set (`make bench BENCHRE=Sweep`), BENCHTIME=1x gives a fast smoke
+# record.
+bench: build
+	$(GO) test -run '^$$' -bench '$(BENCHRE)' -benchmem -count $(COUNT) -benchtime $(BENCHTIME) . \
+		| $(GO) run ./cmd/benchjson -out BENCH_$(DATE).json
+
+clean:
+	rm -f BENCH_*.json

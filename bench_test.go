@@ -99,6 +99,28 @@ func BenchmarkFig6Network(b *testing.B) {
 	}
 }
 
+// benchSweep runs the four-variant sweep at a fixed worker count and
+// reports the mean H-50 PRR as the headline domain metric. The pair of
+// benchmarks below is the bench-regression harness's speedup probe:
+// Workers=GOMAXPROCS vs Workers=1 on the identical workload.
+func benchSweep(b *testing.B, workers int) {
+	var prr float64
+	for i := 0; i < b.N; i++ {
+		o := benchOpts()
+		o.Workers = workers
+		tables, err := experiment.ThetaSweep(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig6 := tables[2]
+		prr = parseCell(b, fig6.Rows[2][3]) // avg PRR, H-50 column
+	}
+	b.ReportMetric(prr, "h50-prr")
+}
+
+func BenchmarkSweepWorkers1(b *testing.B)   { benchSweep(b, 1) }
+func BenchmarkSweepWorkersMax(b *testing.B) { benchSweep(b, 0) }
+
 // lifespanOpts ages gently enough that run-to-EoL spans several months
 // of simulated time (Fig. 7 needs monthly samples).
 func lifespanOpts() experiment.Options {

@@ -1,0 +1,154 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON record for the bench-regression harness
+// (`make bench` pipes into it and writes BENCH_<date>.json).
+//
+// Usage:
+//
+//	go test -bench . -benchmem | go run ./cmd/benchjson -out BENCH_2025-01-02.json
+//
+// Standard metrics (ns/op, B/op, allocs/op) get dedicated fields; any
+// custom b.ReportMetric units (prr, lorawan-lifespan-days, ...) land in
+// the per-benchmark "metrics" map. When both sweep worker-scaling
+// benchmarks are present, the record also carries their wall-clock
+// ratio, the headline number of the parallel experiment engine.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Record is the whole run.
+type Record struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// SweepParallelSpeedup is BenchmarkSweepWorkers1 ns/op divided by
+	// BenchmarkSweepWorkersMax ns/op: the fan-out engine's wall-clock
+	// gain on this machine. Omitted when either benchmark is absent.
+	SweepParallelSpeedup float64 `json:"sweep_parallel_speedup,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default BENCH_<date>.json)")
+	flag.Parse()
+
+	rec := Record{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the run stays readable
+		b, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		rec.Benchmarks = append(rec.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(rec.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	if w1, wMax := find(rec.Benchmarks, "SweepWorkers1"), find(rec.Benchmarks, "SweepWorkersMax"); w1 != nil && wMax != nil && wMax.NsPerOp > 0 {
+		rec.SweepParallelSpeedup = w1.NsPerOp / wMax.NsPerOp
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + rec.Date + ".json"
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rec.Benchmarks), path)
+}
+
+// parseLine parses one `go test -bench` result line:
+//
+//	BenchmarkName-8   	  12	  95318105 ns/op	  0.914 prr	  64 B/op	  2 allocs/op
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the -GOMAXPROCS suffix go test appends.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, true
+}
+
+func find(bs []Benchmark, name string) *Benchmark {
+	for i := range bs {
+		if bs[i].Name == name {
+			return &bs[i]
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkSweepWorkers1-4   \t       2\t 698211651 ns/op\t    0.914 h50-prr\t  64 B/op\t       2 allocs/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if b.Name != "SweepWorkers1" {
+		t.Errorf("name = %q (GOMAXPROCS suffix should be stripped)", b.Name)
+	}
+	if b.Iterations != 2 || b.NsPerOp != 698211651 || b.BytesPerOp != 64 || b.AllocsPerOp != 2 {
+		t.Errorf("parsed %+v", b)
+	}
+	if b.Metrics["h50-prr"] != 0.914 {
+		t.Errorf("custom metric lost: %+v", b.Metrics)
+	}
+}
+
+func TestParseLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \trepro\t12.3s",
+		"BenchmarkBroken-4 notanumber ns/op",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("line %q should not parse", line)
+		}
+	}
+}
+
+func TestParseLineKeepsHyphenatedNames(t *testing.T) {
+	// A trailing -N is only stripped when numeric (the GOMAXPROCS
+	// suffix); hyphenated benchmark names survive.
+	b, ok := parseLine("BenchmarkFoo-bar 10 5 ns/op")
+	if !ok || b.Name != "Foo-bar" {
+		t.Errorf("got %+v ok=%v", b, ok)
+	}
+}

@@ -7,11 +7,18 @@
 //	experiments -run all -scale quick
 //	experiments -run lifespan -scale paper        # full multi-year runs
 //	experiments -run sweep -csv out/              # also write CSV files
+//	experiments -run sweep -j 1                   # force serial execution
+//	experiments -run sweep -replicates 5          # pool 5 derived-seed runs
 //
 // Scales:
 //
 //	quick: minutes of wall time; shapes hold, magnitudes are scaled.
 //	full:  the paper's workloads (hours of wall time for the sweep).
+//
+// Within each experiment, independent simulation runs fan out across -j
+// workers (default: all CPUs); output tables are byte-identical at any
+// worker count. Experiments themselves run sequentially so that tableI's
+// microbenchmarks are not skewed by concurrent simulations.
 package main
 
 import (
@@ -43,6 +50,8 @@ func run() error {
 		duration = flag.Duration("duration", 0, "override simulated duration (0 = scale default)")
 		aging    = flag.Float64("aging", 0, "override aging acceleration factor (0 = scale default)")
 		csvDir   = flag.String("csv", "", "directory to also write per-table CSV files")
+		workers  = flag.Int("j", 0, "worker pool size for fan-out within an experiment (0 = all CPUs, 1 = serial)")
+		reps     = flag.Int("replicates", 0, "derived-seed replicates pooled per scenario (0 or 1 = single run)")
 		verbose  = flag.Bool("v", false, "log per-run progress")
 	)
 	flag.Parse()
@@ -75,6 +84,8 @@ func run() error {
 	if *aging > 0 {
 		opts.AgingFactor = *aging
 	}
+	opts.Workers = *workers
+	opts.Replicates = *reps
 	if *verbose {
 		opts.Log = os.Stderr
 	}

@@ -94,6 +94,57 @@ func (m Model) CalendarAging(elapsed simtime.Duration, tempC, meanSoC float64) f
 	return m.K1 * seconds * math.Exp(m.K2*(meanSoC-m.K3)) * m.TempStress(tempC)
 }
 
+// StressCache memoizes the model's exponential stress factors for the
+// constant-temperature operation the simulator and testbed run (the
+// paper considers insulated batteries at a fixed 25 C). Degradation is
+// queried on every battery charge/discharge — once per simulated minute
+// per node — and each query would otherwise re-evaluate the same
+// e^{K4 ...} temperature stress and, usually, the same e^{K2 (phi-K3)}
+// SoC stress. The cache removes those math.Exp calls from the hot path
+// while returning bit-identical results.
+//
+// A StressCache belongs to one battery tracker; it is not safe for
+// concurrent use.
+type StressCache struct {
+	model      Model
+	tempStress float64
+
+	socStress float64 // e^{K2 (socAt - K3)}, valid when socValid
+	socAt     float64
+	socValid  bool
+}
+
+// NewStressCache returns a cache for the given model pinned at a fixed
+// average battery temperature in Celsius.
+func NewStressCache(m Model, tempC float64) *StressCache {
+	return &StressCache{model: m, tempStress: m.TempStress(tempC)}
+}
+
+// TempStress returns the cached temperature stress factor.
+func (c *StressCache) TempStress() float64 { return c.tempStress }
+
+// CalendarAging is Model.CalendarAging at the cached temperature, with
+// the SoC stress factor memoized on its last operand (the cycle-mean SoC
+// drifts slowly between consecutive queries).
+func (c *StressCache) CalendarAging(elapsed simtime.Duration, meanSoC float64) float64 {
+	seconds := elapsed.Seconds()
+	if seconds <= 0 {
+		return 0
+	}
+	if !c.socValid || meanSoC != c.socAt {
+		c.socStress = math.Exp(c.model.K2 * (meanSoC - c.model.K3))
+		c.socAt = meanSoC
+		c.socValid = true
+	}
+	return c.model.K1 * seconds * c.socStress * c.tempStress
+}
+
+// CycleAgingRaw maps a raw rainflow sum (eta·delta·phi over cycles) to
+// D_cyc per Eq. (2) at the cached temperature.
+func (c *StressCache) CycleAgingRaw(raw float64) float64 {
+	return raw * c.model.K6 * c.tempStress
+}
+
 // CycleAging returns D_cyc per Eq. (2): the sum over rainflow-counted
 // cycles of eta * delta * phi * K6 * tempStress.
 func (m Model) CycleAging(cycles []Cycle, tempC float64) float64 {

@@ -82,6 +82,8 @@ type Counter struct {
 	last  float64
 	dir   int // +1 rising, -1 falling, 0 before the second distinct sample
 	n     int // raw samples seen
+
+	pendStack []float64 // scratch reused by AppendPending
 }
 
 // Push feeds the next SoC sample into the counter.
@@ -126,18 +128,29 @@ func (c *Counter) PendingCycles() []Cycle {
 	if c.n == 0 {
 		return nil
 	}
-	stack := make([]float64, len(c.stack), len(c.stack)+1)
-	copy(stack, c.stack)
-	var pending []Cycle
+	return c.AppendPending(nil)
+}
+
+// AppendPending appends the pending cycles (see PendingCycles) to dst
+// and returns it, reusing dst's capacity. The degradation tracker calls
+// this on every battery operation of a multi-year run, so the
+// allocation-free form matters; the working stack copy is scratch kept
+// inside the counter.
+func (c *Counter) AppendPending(dst []Cycle) []Cycle {
+	if c.n == 0 {
+		return dst
+	}
+	stack := append(c.pendStack[:0], c.stack...)
 	if len(stack) == 0 || stack[len(stack)-1] != c.last {
 		stack = extract(stack, []float64{c.last}, func(cy Cycle) {
-			pending = append(pending, cy)
+			dst = append(dst, cy)
 		})
 	}
+	c.pendStack = stack[:0]
 	for i := 0; i+1 < len(stack); i++ {
-		pending = append(pending, newCycle(stack[i], stack[i+1], 0.5))
+		dst = append(dst, newCycle(stack[i], stack[i+1], 0.5))
 	}
-	return pending
+	return dst
 }
 
 // Samples returns the number of raw samples pushed.

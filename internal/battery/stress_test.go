@@ -1,0 +1,85 @@
+package battery
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// TestStressCacheMatchesModel: the memoized fast path must be
+// bit-identical to the closed-form model at the pinned temperature.
+func TestStressCacheMatchesModel(t *testing.T) {
+	m := DefaultModel()
+	for _, tempC := range []float64{0, 25, 40} {
+		c := NewStressCache(m, tempC)
+		if got, want := c.TempStress(), m.TempStress(tempC); got != want {
+			t.Fatalf("TempStress(%v) = %v, want %v", tempC, got, want)
+		}
+		rng := rand.New(rand.NewPCG(7, 9))
+		for i := 0; i < 200; i++ {
+			elapsed := simtime.Duration(rng.Int64N(int64(10 * simtime.Year)))
+			soc := rng.Float64()
+			if i%3 == 0 {
+				soc = 0.5 // repeat an operand to exercise the memo hit path
+			}
+			if got, want := c.CalendarAging(elapsed, soc), m.CalendarAging(elapsed, tempC, soc); got != want {
+				t.Fatalf("CalendarAging(%v, %v) = %v, want %v", elapsed, soc, got, want)
+			}
+			raw := rng.Float64() * 3
+			if got, want := c.CycleAgingRaw(raw), raw*m.K6*m.TempStress(tempC); got != want {
+				t.Fatalf("CycleAgingRaw(%v) = %v, want %v", raw, got, want)
+			}
+		}
+		if c.CalendarAging(-simtime.Hour, 0.5) != 0 {
+			t.Error("negative elapsed should yield 0")
+		}
+	}
+}
+
+// TestAppendPendingMatchesPendingCycles: the allocation-free form must
+// report exactly what the allocating form reports, and repeated calls
+// must not corrupt the counter state.
+func TestAppendPendingMatchesPendingCycles(t *testing.T) {
+	var ref, reuse Counter
+	rng := rand.New(rand.NewPCG(11, 13))
+	var scratch []Cycle
+	for i := 0; i < 500; i++ {
+		v := rng.Float64()
+		ref.Push(v)
+		reuse.Push(v)
+		want := ref.PendingCycles()
+		scratch = reuse.AppendPending(scratch[:0])
+		if len(want) != len(scratch) {
+			t.Fatalf("sample %d: %d pending vs %d", i, len(scratch), len(want))
+		}
+		for j := range want {
+			if want[j] != scratch[j] {
+				t.Fatalf("sample %d cycle %d: %+v vs %+v", i, j, scratch[j], want[j])
+			}
+		}
+		// Calling twice in a row must be idempotent.
+		again := reuse.AppendPending(nil)
+		if len(again) != len(want) {
+			t.Fatalf("sample %d: second AppendPending returned %d cycles, want %d", i, len(again), len(want))
+		}
+	}
+}
+
+// TestTrackerDamageAllocationFree: the per-sample degradation query must
+// not allocate in steady state (it runs once per simulated minute per
+// node).
+func TestTrackerDamageAllocationFree(t *testing.T) {
+	tr := NewTracker(DefaultModel(), 25)
+	rng := rand.New(rand.NewPCG(3, 5))
+	for i := 0; i < 200; i++ {
+		tr.Push(rng.Float64())
+	}
+	tr.Damage(simtime.Day) // warm up scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		tr.Damage(30 * simtime.Day)
+	})
+	if allocs != 0 {
+		t.Errorf("Damage allocates %v times per query, want 0", allocs)
+	}
+}

@@ -11,18 +11,21 @@ type Tracker struct {
 	model   Model
 	tempC   float64
 	counter Counter
+	stress  *StressCache
 
 	// Permanently retired cycle aggregates.
 	closedRaw    float64 // sum of eta*delta*phi over retired cycles
 	closedPhiSum float64 // sum of eta*phi over retired cycles
 	closedWeight float64 // sum of eta over retired cycles
+
+	pend []Cycle // scratch reused across Damage queries
 }
 
 // NewTracker returns a tracker using the given degradation model and a
 // fixed average internal battery temperature in Celsius (the paper
 // considers insulated batteries at 25 C).
 func NewTracker(model Model, tempC float64) *Tracker {
-	t := &Tracker{model: model, tempC: tempC}
+	t := &Tracker{model: model, tempC: tempC, stress: NewStressCache(model, tempC)}
 	t.counter.OnCycle = t.onCycle
 	return t
 }
@@ -61,7 +64,8 @@ func (t *Tracker) Damage(age simtime.Duration) Breakdown {
 	raw := t.closedRaw
 	phiSum := t.closedPhiSum
 	weight := t.closedWeight
-	for _, c := range t.counter.PendingCycles() {
+	t.pend = t.counter.AppendPending(t.pend[:0])
+	for _, c := range t.pend {
 		raw += c.Count * c.Range * c.Mean
 		phiSum += c.Count * c.Mean
 		weight += c.Count
@@ -73,8 +77,8 @@ func (t *Tracker) Damage(age simtime.Duration) Breakdown {
 	var b Breakdown
 	b.MeanSoC = meanPhi
 	b.Cycles = weight
-	b.Calendar = t.model.CalendarAging(age, t.tempC, meanPhi)
-	b.Cycle = raw * t.model.K6 * t.model.TempStress(t.tempC)
+	b.Calendar = t.stress.CalendarAging(age, meanPhi)
+	b.Cycle = t.stress.CycleAgingRaw(raw)
 	b.Linear = b.Calendar + b.Cycle
 	b.Total = t.model.Nonlinear(b.Linear)
 	return b

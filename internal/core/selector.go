@@ -70,6 +70,8 @@ type Selector struct {
 	// scratch buffers reused across Select calls to keep the decision
 	// path allocation-free on the node.
 	gamma  []float64
+	dif    []float64
+	mu     []float64
 	order  []int
 	cumGen []float64
 }
@@ -108,6 +110,8 @@ func (s *Selector) Select(in Inputs) (Decision, error) {
 	for t := 0; t < n; t++ {
 		mu := s.utility.Value(t, n)
 		d := DIF(in.EstTxEnergy[t], in.ForecastGen[t], in.MaxTxEnergy)
+		s.mu[t] = mu
+		s.dif[t] = d
 		s.gamma[t] = (1 - mu) + in.NormalizedDegradation*d*s.weightB
 		s.order[t] = t
 	}
@@ -133,14 +137,17 @@ func (s *Selector) Select(in Inputs) (Decision, error) {
 		s.order[j+1] = t
 	}
 
+	// A window whose cumulative energy exactly covers the estimated
+	// transmission cost is feasible: the battery ends the attempt empty
+	// but the transmission is funded (Algorithm 1's psi + sum E_g >= e_tx).
 	for _, t := range s.order {
-		if s.cumGen[t]-in.EstTxEnergy[t] > 0 {
+		if s.cumGen[t]-in.EstTxEnergy[t] >= 0 {
 			return Decision{
 				OK:        true,
 				Window:    t,
 				Objective: s.gamma[t],
-				DIF:       DIF(in.EstTxEnergy[t], in.ForecastGen[t], in.MaxTxEnergy),
-				Utility:   s.utility.Value(t, n),
+				DIF:       s.dif[t],
+				Utility:   s.mu[t],
 			}, nil
 		}
 	}
@@ -150,11 +157,15 @@ func (s *Selector) Select(in Inputs) (Decision, error) {
 func (s *Selector) resize(n int) {
 	if cap(s.gamma) < n {
 		s.gamma = make([]float64, n)
+		s.dif = make([]float64, n)
+		s.mu = make([]float64, n)
 		s.order = make([]int, n)
 		s.cumGen = make([]float64, n)
 		return
 	}
 	s.gamma = s.gamma[:n]
+	s.dif = s.dif[:n]
+	s.mu = s.mu[:n]
 	s.order = s.order[:n]
 	s.cumGen = s.cumGen[:n]
 }

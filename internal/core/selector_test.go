@@ -173,6 +173,56 @@ func TestSelectEnergyFeasibility(t *testing.T) {
 	}
 }
 
+// TestSelectExactCoverageIsFeasible pins the feasibility boundary: a
+// window whose cumulative energy exactly equals the estimated
+// transmission cost must be accepted (psi + sum E_g >= e_tx), not
+// rejected — the battery may end the attempt empty, but the
+// transmission is funded.
+func TestSelectExactCoverageIsFeasible(t *testing.T) {
+	s := newTestSelector(t, 1)
+	d, err := s.Select(Inputs{
+		StoredEnergy:          0.01,
+		NormalizedDegradation: 0,
+		ForecastGen:           []float64{0.03, 0, 0},
+		EstTxEnergy:           []float64{0.04, 0.04, 0.04}, // cum[0] == est exactly
+		MaxTxEnergy:           0.24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK || d.Window != 0 {
+		t.Errorf("decision = %+v, want window 0 accepted at exact energy coverage", d)
+	}
+}
+
+// TestSelectDecisionReusesScoringValues: the returned DIF/Utility/
+// Objective must be the values computed in the scoring loop, mutually
+// consistent under the gamma identity.
+func TestSelectDecisionReusesScoringValues(t *testing.T) {
+	s := newTestSelector(t, 0.5)
+	in := Inputs{
+		StoredEnergy:          1,
+		NormalizedDegradation: 0.8,
+		ForecastGen:           []float64{0, 0.02, 0.16, 0},
+		EstTxEnergy:           []float64{0.12, 0.12, 0.12, 0.12},
+		MaxTxEnergy:           0.24,
+	}
+	d, err := s.Select(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK {
+		t.Fatal("expected a feasible decision")
+	}
+	wantDIF := DIF(in.EstTxEnergy[d.Window], in.ForecastGen[d.Window], in.MaxTxEnergy)
+	if d.DIF != wantDIF {
+		t.Errorf("DIF = %v, want %v", d.DIF, wantDIF)
+	}
+	if want := (1 - d.Utility) + in.NormalizedDegradation*d.DIF*s.WeightB(); math.Abs(d.Objective-want) > 1e-15 {
+		t.Errorf("Objective = %v, inconsistent with returned DIF/Utility (want %v)", d.Objective, want)
+	}
+}
+
 // TestSelectFail: Algorithm 1 returns FAIL when no window is feasible
 // (e.g. a long overcast night with a depleted battery).
 func TestSelectFail(t *testing.T) {
@@ -222,7 +272,7 @@ func TestSelectObjectiveOptimal(t *testing.T) {
 			cum += in.ForecastGen[t]
 			mu := utility.Linear{}.Value(t, n)
 			gamma := (1 - mu) + wu*DIF(in.EstTxEnergy[t], in.ForecastGen[t], in.MaxTxEnergy)
-			if cum-in.EstTxEnergy[t] > 0 && gamma < bestGamma-1e-15 {
+			if cum-in.EstTxEnergy[t] >= 0 && gamma < bestGamma-1e-15 {
 				bestGamma, bestWindow = gamma, t
 			}
 		}

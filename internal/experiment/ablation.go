@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/metrics"
-	"repro/internal/sim"
 	"repro/internal/simtime"
 )
 
@@ -18,21 +17,6 @@ func ablationScenario(o Options) config.Scenario {
 	cfg.Protocol = config.ProtocolBLA
 	cfg.Theta = 0.5
 	return cfg
-}
-
-func runOne(o Options, cfg config.Scenario, label string) (*runSummary, error) {
-	o.logf("ablation: running %s", label)
-	s, err := sim.New(cfg, sim.Hooks{})
-	if err != nil {
-		return nil, fmt.Errorf("experiment: %s: %w", label, err)
-	}
-	res, err := s.Run()
-	if err != nil {
-		return nil, fmt.Errorf("experiment: %s: %w", label, err)
-	}
-	sum := summarize(res)
-	sum.label = label
-	return sum, nil
 }
 
 // ForecastAblation quantifies the protocol's sensitivity to forecast
@@ -49,49 +33,63 @@ func ForecastAblation(o Options) (*Table, error) {
 		{label: "noisy 30%", kind: config.ForecastNoisy, noise: 0.3},
 		{label: "noisy 80%", kind: config.ForecastNoisy, noise: 0.8},
 	}
+	labels := make([]string, len(cases))
+	cfgs := make([]config.Scenario, len(cases))
+	for i, c := range cases {
+		labels[i] = c.label
+		cfg := ablationScenario(o)
+		cfg.Forecast = c.kind
+		cfg.ForecastNoise = c.noise
+		cfgs[i] = cfg
+	}
+	sums, err := runScenarios(o, "abl-forecast", labels, cfgs)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID:      "abl-forecast",
 		Title:   "Ablation: green-energy forecast quality (H-50)",
 		Columns: []string{"forecaster", "PRR", "utility", "deg mean", "dropped by Alg.1 %"},
 	}
-	for _, c := range cases {
-		cfg := ablationScenario(o)
-		cfg.Forecast = c.kind
-		cfg.ForecastNoise = c.noise
-		sum, err := runOne(o, cfg, c.label)
-		if err != nil {
-			return nil, err
-		}
+	for _, sum := range sums {
 		dropped := 0.0
 		if sum.generated > 0 {
 			dropped = 100 * float64(sum.neverSent) / float64(sum.generated)
 		}
-		t.AddRow(c.label,
+		t.AddRow(sum.label,
 			fmt.Sprintf("%.3f", metrics.BoxOf(sum.prr).Mean),
 			fmt.Sprintf("%.3f", metrics.BoxOf(sum.utility).Mean),
 			fmt.Sprintf("%.5f", metrics.BoxOf(sum.degs).Mean),
 			fmt.Sprintf("%.1f", dropped),
 		)
 	}
+	noteReplicates(t, o)
 	return t, nil
 }
 
 // WeightBAblation sweeps the network manager's degradation weight w_b:
 // the latency/lifespan trade-off the paper discusses under Fig. 6c.
 func WeightBAblation(o Options) (*Table, error) {
+	weights := []float64{0, 0.25, 0.5, 1}
+	labels := make([]string, len(weights))
+	cfgs := make([]config.Scenario, len(weights))
+	for i, wb := range weights {
+		labels[i] = fmt.Sprintf("w_b=%g", wb)
+		cfg := ablationScenario(o)
+		cfg.WeightB = wb
+		cfgs[i] = cfg
+	}
+	sums, err := runScenarios(o, "abl-weightb", labels, cfgs)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID:      "abl-weightb",
 		Title:   "Ablation: degradation weight w_b (H-50)",
 		Columns: []string{"w_b", "avg latency s", "deg mean", "deg variance", "utility"},
 	}
-	for _, wb := range []float64{0, 0.25, 0.5, 1} {
-		cfg := ablationScenario(o)
-		cfg.WeightB = wb
-		sum, err := runOne(o, cfg, fmt.Sprintf("w_b=%g", wb))
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprintf("%.2f", wb),
+	for i, sum := range sums {
+		t.AddRow(fmt.Sprintf("%.2f", weights[i]),
 			fmt.Sprintf("%.1f", metrics.BoxOf(sum.latencyS).Mean),
 			fmt.Sprintf("%.5f", metrics.BoxOf(sum.degs).Mean),
 			fmt.Sprintf("%.3g", metrics.BoxOf(sum.degs).Variance),
@@ -99,34 +97,42 @@ func WeightBAblation(o Options) (*Table, error) {
 		)
 	}
 	t.AddNote("paper: low w_b lowers latency at the cost of battery lifespan")
+	noteReplicates(t, o)
 	return t, nil
 }
 
 // RetxHistoryAblation isolates the contribution of the Eq. (14)
 // retransmission-probability history to collision avoidance.
 func RetxHistoryAblation(o Options) (*Table, error) {
+	modes := []bool{false, true}
+	labels := make([]string, len(modes))
+	cfgs := make([]config.Scenario, len(modes))
+	for i, disabled := range modes {
+		labels[i] = "enabled (Eq. 14)"
+		if disabled {
+			labels[i] = "disabled"
+		}
+		cfg := ablationScenario(o)
+		cfg.DisableRetxHistory = disabled
+		cfgs[i] = cfg
+	}
+	sums, err := runScenarios(o, "abl-retxhist", labels, cfgs)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID:      "abl-retxhist",
 		Title:   "Ablation: per-window retransmission history (H-50)",
 		Columns: []string{"history", "avg TX attempts", "PRR", "TX energy J"},
 	}
-	for _, disabled := range []bool{false, true} {
-		cfg := ablationScenario(o)
-		cfg.DisableRetxHistory = disabled
-		label := "enabled (Eq. 14)"
-		if disabled {
-			label = "disabled"
-		}
-		sum, err := runOne(o, cfg, label)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(label,
+	for _, sum := range sums {
+		t.AddRow(sum.label,
 			fmt.Sprintf("%.2f", metrics.BoxOf(sum.attempts).Mean),
 			fmt.Sprintf("%.3f", metrics.BoxOf(sum.prr).Mean),
 			fmt.Sprintf("%.0f", sum.txEnergyJ),
 		)
 	}
+	noteReplicates(t, o)
 	return t, nil
 }
 
@@ -135,12 +141,7 @@ func RetxHistoryAblation(o Options) (*Table, error) {
 // absorbs transmission dips, trading self-discharge leakage for battery
 // cycle aging.
 func SupercapAblation(o Options) (*Table, error) {
-	t := &Table{
-		ID:      "abl-supercap",
-		Title:   "Extension: supercapacitor buffer in front of the battery",
-		Columns: []string{"config", "protocol", "cycle aging mean", "deg mean", "PRR"},
-	}
-	for _, sc := range []struct {
+	storage := []struct {
 		label string
 		capJ  float64
 		leakW float64
@@ -148,39 +149,53 @@ func SupercapAblation(o Options) (*Table, error) {
 		{label: "battery only", capJ: 0},
 		{label: "small supercap (0.5 J)", capJ: 0.5, leakW: 5e-6},
 		{label: "large supercap (5 J)", capJ: 5, leakW: 50e-6},
-	} {
-		for _, v := range []variant{
-			{label: "LoRaWAN", protocol: config.ProtocolLoRaWAN, theta: 1},
-			{label: "H-50", protocol: config.ProtocolBLA, theta: 0.5},
-		} {
+	}
+	protos := []variant{
+		{label: "LoRaWAN", protocol: config.ProtocolLoRaWAN, theta: 1},
+		{label: "H-50", protocol: config.ProtocolBLA, theta: 0.5},
+	}
+	type combo struct {
+		scLabel, vLabel string
+	}
+	var combos []combo
+	var labels []string
+	var cfgs []config.Scenario
+	for _, sc := range storage {
+		for _, v := range protos {
 			cfg := ablationScenario(o)
 			cfg.Protocol = v.protocol
 			cfg.Theta = v.theta
 			cfg.SupercapJ = sc.capJ
 			cfg.SupercapLeakW = sc.leakW
-			o.logf("ablation: supercap %s / %s", sc.label, v.label)
-			s, err := sim.New(cfg, sim.Hooks{})
-			if err != nil {
-				return nil, err
-			}
-			res, err := s.Run()
-			if err != nil {
-				return nil, err
-			}
-			var cyc, deg, prr metrics.Welford
-			for _, n := range res.Nodes {
-				cyc.Add(n.Degradation.Cycle)
-				deg.Add(n.Degradation.Total)
-				prr.Add(n.Stats.PRR())
-			}
-			t.AddRow(sc.label, v.label,
-				fmt.Sprintf("%.3e", cyc.Mean()),
-				fmt.Sprintf("%.5f", deg.Mean()),
-				fmt.Sprintf("%.3f", prr.Mean()),
-			)
+			combos = append(combos, combo{scLabel: sc.label, vLabel: v.label})
+			labels = append(labels, fmt.Sprintf("supercap %s / %s", sc.label, v.label))
+			cfgs = append(cfgs, cfg)
 		}
 	}
+	sums, err := runScenarios(o, "abl-supercap", labels, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "abl-supercap",
+		Title:   "Extension: supercapacitor buffer in front of the battery",
+		Columns: []string{"config", "protocol", "cycle aging mean", "deg mean", "PRR"},
+	}
+	for i, sum := range sums {
+		var cyc, deg, prr metrics.Welford
+		for j := range sum.degs {
+			cyc.Add(sum.cycles[j])
+			deg.Add(sum.degs[j])
+			prr.Add(sum.prr[j])
+		}
+		t.AddRow(combos[i].scLabel, combos[i].vLabel,
+			fmt.Sprintf("%.3e", cyc.Mean()),
+			fmt.Sprintf("%.5f", deg.Mean()),
+			fmt.Sprintf("%.3f", prr.Mean()),
+		)
+	}
 	t.AddNote("a supercapacitor cannot bridge nights (the paper's argument for keeping the battery), but it absorbs TX dips")
+	noteReplicates(t, o)
 	return t, nil
 }
 
@@ -188,32 +203,47 @@ func SupercapAblation(o Options) (*Table, error) {
 // paper's system model allows "one or more"): more gateways rescue
 // collision losses via spatial diversity and spread the ACK load.
 func GatewayAblation(o Options) (*Table, error) {
+	counts := []int{1, 2, 4}
+	protos := []variant{
+		{label: "LoRaWAN", protocol: config.ProtocolLoRaWAN, theta: 1},
+		{label: "H-50", protocol: config.ProtocolBLA, theta: 0.5},
+	}
+	type combo struct {
+		gws    int
+		vLabel string
+	}
+	var combos []combo
+	var labels []string
+	var cfgs []config.Scenario
+	for _, gws := range counts {
+		for _, v := range protos {
+			cfg := ablationScenario(o)
+			cfg.Protocol = v.protocol
+			cfg.Theta = v.theta
+			cfg.Gateways = gws
+			combos = append(combos, combo{gws: gws, vLabel: v.label})
+			labels = append(labels, fmt.Sprintf("%s/%d gateways", v.label, gws))
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	sums, err := runScenarios(o, "abl-gateways", labels, cfgs)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID:      "abl-gateways",
 		Title:   "Extension: gateway density",
 		Columns: []string{"gateways", "protocol", "PRR", "avg TX attempts", "deg mean"},
 	}
-	for _, gws := range []int{1, 2, 4} {
-		for _, v := range []variant{
-			{label: "LoRaWAN", protocol: config.ProtocolLoRaWAN, theta: 1},
-			{label: "H-50", protocol: config.ProtocolBLA, theta: 0.5},
-		} {
-			cfg := ablationScenario(o)
-			cfg.Protocol = v.protocol
-			cfg.Theta = v.theta
-			cfg.Gateways = gws
-			sum, err := runOne(o, cfg, fmt.Sprintf("%s/%d gateways", v.label, gws))
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(fmt.Sprintf("%d", gws), v.label,
-				fmt.Sprintf("%.3f", metrics.BoxOf(sum.prr).Mean),
-				fmt.Sprintf("%.2f", metrics.BoxOf(sum.attempts).Mean),
-				fmt.Sprintf("%.5f", metrics.BoxOf(sum.degs).Mean),
-			)
-		}
+	for i, sum := range sums {
+		t.AddRow(fmt.Sprintf("%d", combos[i].gws), combos[i].vLabel,
+			fmt.Sprintf("%.3f", metrics.BoxOf(sum.prr).Mean),
+			fmt.Sprintf("%.2f", metrics.BoxOf(sum.attempts).Mean),
+			fmt.Sprintf("%.5f", metrics.BoxOf(sum.degs).Mean),
+		)
 	}
 	t.AddNote("a packet is delivered when any gateway decodes it; each gateway has its own demodulators and downlink radio")
+	noteReplicates(t, o)
 	return t, nil
 }
 
@@ -221,16 +251,19 @@ func GatewayAblation(o Options) (*Table, error) {
 // the LoRaWAN baseline into persistent collisions while BLA self-spreads
 // (the congestion regime calibration documented in DESIGN.md).
 func StartSpreadAblation(o Options) (*Table, error) {
-	t := &Table{
-		ID:      "abl-startspread",
-		Title:   "Ablation: deployment start spread vs collision regime",
-		Columns: []string{"start spread", "protocol", "avg TX attempts", "PRR"},
+	spreads := []simtime.Duration{0, 30 * simtime.Second, 5 * simtime.Minute}
+	protos := []variant{
+		{label: "LoRaWAN", protocol: config.ProtocolLoRaWAN, theta: 1},
+		{label: "H-50", protocol: config.ProtocolBLA, theta: 0.5},
 	}
-	for _, spread := range []simtime.Duration{0, 30 * simtime.Second, 5 * simtime.Minute} {
-		for _, v := range []variant{
-			{label: "LoRaWAN", protocol: config.ProtocolLoRaWAN, theta: 1},
-			{label: "H-50", protocol: config.ProtocolBLA, theta: 0.5},
-		} {
+	type combo struct {
+		spreadLabel, vLabel string
+	}
+	var combos []combo
+	var labels []string
+	var cfgs []config.Scenario
+	for _, spread := range spreads {
+		for _, v := range protos {
 			cfg := ablationScenario(o)
 			cfg.Protocol = v.protocol
 			cfg.Theta = v.theta
@@ -239,15 +272,26 @@ func StartSpreadAblation(o Options) (*Table, error) {
 			if spread > 0 {
 				spreadLabel = spread.String()
 			}
-			sum, err := runOne(o, cfg, v.label+"/"+spreadLabel)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(spreadLabel, v.label,
-				fmt.Sprintf("%.2f", metrics.BoxOf(sum.attempts).Mean),
-				fmt.Sprintf("%.3f", metrics.BoxOf(sum.prr).Mean),
-			)
+			combos = append(combos, combo{spreadLabel: spreadLabel, vLabel: v.label})
+			labels = append(labels, v.label+"/"+spreadLabel)
+			cfgs = append(cfgs, cfg)
 		}
 	}
+	sums, err := runScenarios(o, "abl-startspread", labels, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "abl-startspread",
+		Title:   "Ablation: deployment start spread vs collision regime",
+		Columns: []string{"start spread", "protocol", "avg TX attempts", "PRR"},
+	}
+	for i, sum := range sums {
+		t.AddRow(combos[i].spreadLabel, combos[i].vLabel,
+			fmt.Sprintf("%.2f", metrics.BoxOf(sum.attempts).Mean),
+			fmt.Sprintf("%.3f", metrics.BoxOf(sum.prr).Mean),
+		)
+	}
+	noteReplicates(t, o)
 	return t, nil
 }

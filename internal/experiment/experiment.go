@@ -27,6 +27,15 @@ type Options struct {
 	// lifespans are de-scaled and the table notes the factor. 0 or 1
 	// means real aging.
 	AgingFactor float64
+	// Workers caps the worker pool that fans out independent simulation
+	// runs; 0 (or negative) uses every CPU, 1 forces serial execution.
+	// Output tables are byte-identical at any worker count.
+	Workers int
+	// Replicates repeats every scenario with deterministically derived
+	// seeds and pools the results. 0 or 1 means a single run; replicate
+	// 0 always keeps the base seed, so the default output matches a
+	// pre-replication run exactly.
+	Replicates int
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -55,6 +64,13 @@ func (o Options) duration(paperDefault simtime.Duration) simtime.Duration {
 func (o Options) aging() float64 {
 	if o.AgingFactor > 1 {
 		return o.AgingFactor
+	}
+	return 1
+}
+
+func (o Options) replicates() int {
+	if o.Replicates > 1 {
+		return o.Replicates
 	}
 	return 1
 }

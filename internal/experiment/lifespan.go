@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/battery"
 	"repro/internal/config"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/simtime"
 )
@@ -16,34 +17,88 @@ import (
 // node is the network median by final degradation. Paper scale: 100
 // nodes, 5 years.
 func Fig2(o Options) (*Table, error) {
-	cfg := config.Default().WithSeed(o.seed())
-	cfg.Nodes = o.nodes(100)
-	cfg.Duration = o.duration(5 * simtime.Year)
-	cfg.Protocol = config.ProtocolLoRaWAN
-	applyAging(&cfg, o.aging())
+	o = o.parallel()
+	reps := o.replicates()
 
 	type sample struct {
 		months int
 		b      battery.Breakdown
 	}
-	var series []sample
-	var months int
-	hooks := sim.Hooks{OnMonth: func(now simtime.Time, nodes []*sim.Node) {
-		months++
-		if months%6 != 0 { // sample twice per year
-			return
-		}
-		series = append(series, sample{months: months, b: medianBreakdown(now, nodes)})
-	}}
+	type fig2run struct {
+		series     []sample
+		final      battery.Breakdown
+		elapsedYrs float64
+	}
+	runs, err := mapRuns(o, reps, func(rep int) (fig2run, error) {
+		cfg := config.Default().WithSeed(o.seed())
+		cfg.Nodes = o.nodes(100)
+		cfg.Duration = o.duration(5 * simtime.Year)
+		cfg.Protocol = config.ProtocolLoRaWAN
+		applyAging(&cfg, o.aging())
+		cfg.Seed = runner.DeriveSeed(cfg.Seed, "fig2", rep)
 
-	o.logf("fig2: LoRaWAN %d nodes, %v", cfg.Nodes, cfg.Duration)
-	s, err := sim.New(cfg, hooks)
+		var r fig2run
+		var months int
+		hooks := sim.Hooks{OnMonth: func(now simtime.Time, nodes []*sim.Node) {
+			months++
+			if months%6 != 0 { // sample twice per year
+				return
+			}
+			r.series = append(r.series, sample{months: months, b: medianBreakdown(now, nodes)})
+		}}
+
+		o.logf("fig2: LoRaWAN %d nodes, %v", cfg.Nodes, cfg.Duration)
+		res, err := simulate(cfg, hooks)
+		if err != nil {
+			return fig2run{}, err
+		}
+
+		// Final point from the run result: the network-median node.
+		degs := make([]float64, 0, len(res.Nodes))
+		for _, n := range res.Nodes {
+			degs = append(degs, n.Degradation.Total)
+		}
+		sort.Float64s(degs)
+		target := degs[len(degs)/2]
+		for _, n := range res.Nodes {
+			if n.Degradation.Total == target {
+				r.final = n.Degradation
+				break
+			}
+		}
+		r.elapsedYrs = res.Elapsed.Days() / 365 * o.aging()
+		return r, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.Run()
-	if err != nil {
-		return nil, err
+
+	// Pool replicates: the duration is fixed, so every replicate samples
+	// the same months and breakdowns average element-wise. A single
+	// replicate passes through unchanged.
+	avg := runs[0]
+	if reps > 1 {
+		for _, r := range runs[1:] {
+			for i := range avg.series {
+				avg.series[i].b.Calendar += r.series[i].b.Calendar
+				avg.series[i].b.Cycle += r.series[i].b.Cycle
+				avg.series[i].b.Total += r.series[i].b.Total
+			}
+			avg.final.Calendar += r.final.Calendar
+			avg.final.Cycle += r.final.Cycle
+			avg.final.Total += r.final.Total
+			avg.elapsedYrs += r.elapsedYrs
+		}
+		inv := 1 / float64(reps)
+		for i := range avg.series {
+			avg.series[i].b.Calendar *= inv
+			avg.series[i].b.Cycle *= inv
+			avg.series[i].b.Total *= inv
+		}
+		avg.final.Calendar *= inv
+		avg.final.Cycle *= inv
+		avg.final.Total *= inv
+		avg.elapsedYrs *= inv
 	}
 
 	t := &Table{
@@ -51,7 +106,7 @@ func Fig2(o Options) (*Table, error) {
 		Title:   "Battery degradation of a regular LoRa node (median of network)",
 		Columns: []string{"years", "calendar D_cal", "cycle D_cyc", "total D"},
 	}
-	for _, sm := range series {
+	for _, sm := range avg.series {
 		t.AddRow(
 			fmt.Sprintf("%.1f", float64(sm.months)*30/365*o.aging()),
 			fmt.Sprintf("%.5f", sm.b.Calendar),
@@ -59,28 +114,15 @@ func Fig2(o Options) (*Table, error) {
 			fmt.Sprintf("%.5f", sm.b.Total),
 		)
 	}
-	// Final row from the run result.
-	var final battery.Breakdown
-	degs := make([]float64, 0, len(res.Nodes))
-	for _, n := range res.Nodes {
-		degs = append(degs, n.Degradation.Total)
-	}
-	sort.Float64s(degs)
-	target := degs[len(degs)/2]
-	for _, n := range res.Nodes {
-		if n.Degradation.Total == target {
-			final = n.Degradation
-			break
-		}
-	}
 	t.AddRow(
-		fmt.Sprintf("%.1f", res.Elapsed.Days()/365*o.aging()),
-		fmt.Sprintf("%.5f", final.Calendar),
-		fmt.Sprintf("%.6f", final.Cycle),
-		fmt.Sprintf("%.5f", final.Total),
+		fmt.Sprintf("%.1f", avg.elapsedYrs),
+		fmt.Sprintf("%.5f", avg.final.Calendar),
+		fmt.Sprintf("%.6f", avg.final.Cycle),
+		fmt.Sprintf("%.5f", avg.final.Total),
 	)
 	t.AddNote("paper claim: calendar aging dominates cycle aging for LoRa duty cycles")
 	noteAging(t, o)
+	noteReplicates(t, o)
 	return t, nil
 }
 
@@ -117,8 +159,12 @@ type lifespanRun struct {
 }
 
 func runLifespans(o Options) ([]lifespanRun, error) {
-	var out []lifespanRun
-	for _, v := range lifespanVariants() {
+	o = o.parallel()
+	vs := lifespanVariants()
+	reps := o.replicates()
+	runs, err := mapRuns(o, len(vs)*reps, func(i int) (lifespanRun, error) {
+		v := vs[i/reps]
+		rep := i % reps
 		cfg := config.Default().WithSeed(o.seed())
 		cfg.Nodes = o.nodes(100)
 		cfg.Protocol = v.protocol
@@ -126,24 +172,51 @@ func runLifespans(o Options) ([]lifespanRun, error) {
 		cfg.RunToEoL = true
 		cfg.MaxDuration = 30 * simtime.Year
 		applyAging(&cfg, o.aging())
+		cfg.Seed = runner.DeriveSeed(cfg.Seed, "lifespan", rep)
 		o.logf("lifespan: running %s to EoL (%d nodes, aging x%g)", v.label, cfg.Nodes, o.aging())
-		s, err := sim.New(cfg, sim.Hooks{})
+		res, err := simulate(cfg, sim.Hooks{})
 		if err != nil {
-			return nil, fmt.Errorf("experiment: %s: %w", v.label, err)
-		}
-		res, err := s.Run()
-		if err != nil {
-			return nil, fmt.Errorf("experiment: %s: %w", v.label, err)
+			return lifespanRun{}, fmt.Errorf("experiment: %s: %w", v.label, err)
 		}
 		days := res.LifespanDays
 		if days == 0 {
 			days = res.Elapsed.Days() // EoL not reached within the cap
 		}
-		out = append(out, lifespanRun{
+		return lifespanRun{
 			label:        v.label,
 			monthlyMax:   res.MonthlyMaxDeg,
 			lifespanDays: days * o.aging(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Pool replicates per variant: lifespans average; the monthly-max
+	// series averages element-wise over the months every replicate
+	// reached (run-to-EoL lengths differ across seeds).
+	out := make([]lifespanRun, len(vs))
+	for vi := range vs {
+		group := runs[vi*reps : (vi+1)*reps]
+		merged := group[0]
+		if reps > 1 {
+			minLen := len(group[0].monthlyMax)
+			for _, r := range group[1:] {
+				minLen = min(minLen, len(r.monthlyMax))
+			}
+			merged.monthlyMax = append([]float64(nil), group[0].monthlyMax[:minLen]...)
+			for _, r := range group[1:] {
+				merged.lifespanDays += r.lifespanDays
+				for m := 0; m < minLen; m++ {
+					merged.monthlyMax[m] += r.monthlyMax[m]
+				}
+			}
+			merged.lifespanDays /= float64(reps)
+			for m := range merged.monthlyMax {
+				merged.monthlyMax[m] /= float64(reps)
+			}
+		}
+		out[vi] = merged
 	}
 	return out, nil
 }
@@ -200,6 +273,8 @@ func Lifespan(o Options) ([]*Table, error) {
 	}
 	fig8.AddNote("paper: LoRaWAN 2980 days (8.1 y); H-50 13.86 y (+69.7%%)")
 	noteAging(fig8, o)
+	noteReplicates(fig7, o)
+	noteReplicates(fig8, o)
 	return []*Table{fig7, fig8}, nil
 }
 

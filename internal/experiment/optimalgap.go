@@ -100,21 +100,37 @@ func onSensorSchedule(p optimal.Problem) (optimal.Schedule, error) {
 // local heuristic is a reasonable stand-in for the impractical
 // centralized formulation.
 func OptimalGap(o Options) (*Table, error) {
-	p := GapProblem()
-
-	_, exh, err := optimal.SolveExhaustive(p)
+	o = o.parallel()
+	// The three solvers are independent (each works on its own copy of
+	// the instance), so they fan out across the pool; the exhaustive
+	// search dominates the wall clock.
+	evals, err := mapRuns(o, 3, func(i int) (optimal.Evaluation, error) {
+		p := GapProblem()
+		switch i {
+		case 0:
+			_, e, err := optimal.SolveExhaustive(p)
+			if err != nil {
+				return optimal.Evaluation{}, fmt.Errorf("experiment: exhaustive: %w", err)
+			}
+			return e, nil
+		case 1:
+			_, e, err := optimal.SolveGreedy(p)
+			if err != nil {
+				return optimal.Evaluation{}, fmt.Errorf("experiment: greedy: %w", err)
+			}
+			return e, nil
+		default:
+			hs, err := onSensorSchedule(p)
+			if err != nil {
+				return optimal.Evaluation{}, fmt.Errorf("experiment: on-sensor: %w", err)
+			}
+			return p.Evaluate(hs), nil
+		}
+	})
 	if err != nil {
-		return nil, fmt.Errorf("experiment: exhaustive: %w", err)
+		return nil, err
 	}
-	_, greedy, err := optimal.SolveGreedy(p)
-	if err != nil {
-		return nil, fmt.Errorf("experiment: greedy: %w", err)
-	}
-	hs, err := onSensorSchedule(p)
-	if err != nil {
-		return nil, fmt.Errorf("experiment: on-sensor: %w", err)
-	}
-	heur := p.Evaluate(hs)
+	exh, greedy, heur := evals[0], evals[1], evals[2]
 
 	t := &Table{
 		ID:      "optgap",

@@ -36,6 +36,7 @@ type runSummary struct {
 	latencyS   []float64 // delivered-only, seconds
 	latPenS    []float64 // failure-penalized, seconds
 	degs       []float64
+	cycles     []float64 // cycle-aging component of degradation
 	txEnergyJ  float64
 	majorityWn []int
 	neverSent  int64
@@ -51,6 +52,7 @@ func summarize(res *sim.Result) *runSummary {
 		s.latencyS = append(s.latencyS, n.Stats.AvgLatencyDelivered().Seconds())
 		s.latPenS = append(s.latPenS, n.Stats.AvgLatencyPenalized().Seconds())
 		s.degs = append(s.degs, n.Degradation.Total)
+		s.cycles = append(s.cycles, n.Degradation.Cycle)
 		s.txEnergyJ += n.Stats.TxEnergyJ
 		s.neverSent += n.Stats.NeverSent
 		s.generated += n.Stats.Generated
@@ -72,23 +74,18 @@ func sweepScenario(o Options, v variant) config.Scenario {
 }
 
 // runSweep executes the four-variant theta sweep once and caches nothing:
-// Fig. 4, 5 and 6 are produced from the same runs, as in the paper.
+// Fig. 4, 5 and 6 are produced from the same runs, as in the paper. The
+// variants fan out across the worker pool; every variant keeps the same
+// scenario seed so the comparison runs on identical deployments.
 func runSweep(o Options) ([]*runSummary, error) {
-	var out []*runSummary
-	for _, v := range sweepVariants() {
-		cfg := sweepScenario(o, v)
-		o.logf("sweep: running %s (%d nodes, %v)", v.label, cfg.Nodes, cfg.Duration)
-		s, err := sim.New(cfg, sim.Hooks{})
-		if err != nil {
-			return nil, fmt.Errorf("experiment: %s: %w", v.label, err)
-		}
-		res, err := s.Run()
-		if err != nil {
-			return nil, fmt.Errorf("experiment: %s: %w", v.label, err)
-		}
-		out = append(out, summarize(res))
+	vs := sweepVariants()
+	labels := make([]string, len(vs))
+	cfgs := make([]config.Scenario, len(vs))
+	for i, v := range vs {
+		labels[i] = v.label
+		cfgs[i] = sweepScenario(o, v)
 	}
-	return out, nil
+	return runScenarios(o, "sweep", labels, cfgs)
 }
 
 // ThetaSweep regenerates Fig. 4 (forecast-window selection histogram),
@@ -100,7 +97,11 @@ func ThetaSweep(o Options) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return []*Table{fig4(sums), fig5(sums), fig6(sums)}, nil
+	tables := []*Table{fig4(sums), fig5(sums), fig6(sums)}
+	for _, t := range tables {
+		noteReplicates(t, o)
+	}
+	return tables, nil
 }
 
 func fig4(sums []*runSummary) *Table {

@@ -51,16 +51,20 @@ func Fig9(o Options) (*Table, error) {
 		deg, cyc, att, lat, prr metrics.Welford
 		degVar                  float64
 	}
-	var outs []outcome
-	for _, v := range []variant{
+	o = o.parallel()
+	variants := []variant{
 		{label: "LoRaWAN", protocol: config.ProtocolLoRaWAN, theta: 1},
 		{label: "H-100", protocol: config.ProtocolBLA, theta: 1},
-	} {
+	}
+	// Each testbed run already spawns one goroutine per node; the two
+	// variants additionally fan out across the worker pool.
+	outs, err := mapRuns(o, len(variants), func(i int) (outcome, error) {
+		v := variants[i]
 		cfg := TestbedScenario(o, v.protocol, v.theta)
 		o.logf("fig9: testbed %s (%d goroutine nodes, %v)", v.label, cfg.Nodes, cfg.Duration)
 		res, err := testbed.Run(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: fig9 %s: %w", v.label, err)
+			return outcome{}, fmt.Errorf("experiment: fig9 %s: %w", v.label, err)
 		}
 		var oc outcome
 		var degs []float64
@@ -73,7 +77,10 @@ func Fig9(o Options) (*Table, error) {
 			degs = append(degs, n.Degradation.Total)
 		}
 		oc.degVar = metrics.BoxOf(degs).Variance
-		outs = append(outs, oc)
+		return oc, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	row := func(name string, f func(outcome) string) {
 		t.AddRow(name, f(outs[0]), f(outs[1]))

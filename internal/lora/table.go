@@ -1,0 +1,102 @@
+package lora
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// Table precomputes airtime and transmission energy for every spreading
+// factor at a fixed bandwidth, coding rate, preamble length and TX
+// power, over the bounded payload sizes a deployment actually sends.
+// The symbol-count formula of Eq. (7) sits on the simulator's hottest
+// path — it is evaluated for every transmission attempt of every packet
+// of a multi-year run — yet its inputs are tiny: six spreading factors
+// and payloads of at most a few hundred bytes. Memoizing it turns each
+// per-attempt airtime/energy query into two array loads.
+//
+// Payloads beyond the precomputed bound fall back to the closed-form
+// computation, so a Table is always exact. Tables are immutable after
+// construction and safe for concurrent use by parallel experiment runs.
+type Table struct {
+	base       Params
+	maxPayload int
+	airtime    [][]simtime.Duration // [sf-MinSF][payload]
+	airtimeS   [][]float64
+	energy     [][]float64
+}
+
+// NewTable builds the lookup table for payloads 0..maxPayload bytes at
+// every spreading factor, taking bandwidth, coding rate, preamble and
+// TX power from base (base's own SF is irrelevant).
+func NewTable(base Params, maxPayload int) (*Table, error) {
+	if maxPayload < 0 {
+		return nil, fmt.Errorf("lora: negative max payload %d", maxPayload)
+	}
+	base.SF = MinSF
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		base:       base,
+		maxPayload: maxPayload,
+		airtime:    make([][]simtime.Duration, MaxSF-MinSF+1),
+		airtimeS:   make([][]float64, MaxSF-MinSF+1),
+		energy:     make([][]float64, MaxSF-MinSF+1),
+	}
+	for sf := MinSF; sf <= MaxSF; sf++ {
+		p := base
+		p.SF = sf
+		at := make([]simtime.Duration, maxPayload+1)
+		ats := make([]float64, maxPayload+1)
+		en := make([]float64, maxPayload+1)
+		for pl := 0; pl <= maxPayload; pl++ {
+			at[pl] = p.Airtime(pl)
+			ats[pl] = p.AirtimeSeconds(pl)
+			en[pl] = p.TxEnergy(pl)
+		}
+		t.airtime[sf-MinSF] = at
+		t.airtimeS[sf-MinSF] = ats
+		t.energy[sf-MinSF] = en
+	}
+	return t, nil
+}
+
+// MaxPayload returns the largest precomputed payload size in bytes.
+func (t *Table) MaxPayload() int { return t.maxPayload }
+
+// params returns the base parameter set retargeted to sf, for fallback
+// computation outside the precomputed range.
+func (t *Table) params(sf SpreadingFactor) Params {
+	p := t.base
+	p.SF = sf
+	return p
+}
+
+// Airtime returns the on-air duration of a packet at the given
+// spreading factor, equal to Params.Airtime for the table's radio
+// settings.
+func (t *Table) Airtime(sf SpreadingFactor, payloadBytes int) simtime.Duration {
+	if sf.Valid() && payloadBytes >= 0 && payloadBytes <= t.maxPayload {
+		return t.airtime[sf-MinSF][payloadBytes]
+	}
+	return t.params(sf).Airtime(payloadBytes)
+}
+
+// AirtimeSeconds returns the unrounded on-air duration in seconds.
+func (t *Table) AirtimeSeconds(sf SpreadingFactor, payloadBytes int) float64 {
+	if sf.Valid() && payloadBytes >= 0 && payloadBytes <= t.maxPayload {
+		return t.airtimeS[sf-MinSF][payloadBytes]
+	}
+	return t.params(sf).AirtimeSeconds(payloadBytes)
+}
+
+// TxEnergy returns the transmission energy in joules of a packet at the
+// given spreading factor, equal to Params.TxEnergy for the table's
+// radio settings.
+func (t *Table) TxEnergy(sf SpreadingFactor, payloadBytes int) float64 {
+	if sf.Valid() && payloadBytes >= 0 && payloadBytes <= t.maxPayload {
+		return t.energy[sf-MinSF][payloadBytes]
+	}
+	return t.params(sf).TxEnergy(payloadBytes)
+}

@@ -1,0 +1,75 @@
+package lora
+
+import "testing"
+
+func TestTableMatchesDirectComputation(t *testing.T) {
+	base := DefaultParams()
+	base.TxPowerDBm = 17
+	tbl, err := NewTable(base, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sf := MinSF; sf <= MaxSF; sf++ {
+		p := base
+		p.SF = sf
+		for pl := 0; pl <= 96; pl++ {
+			if got, want := tbl.Airtime(sf, pl), p.Airtime(pl); got != want {
+				t.Fatalf("%v payload %d: Airtime = %v, want %v", sf, pl, got, want)
+			}
+			if got, want := tbl.AirtimeSeconds(sf, pl), p.AirtimeSeconds(pl); got != want {
+				t.Fatalf("%v payload %d: AirtimeSeconds = %v, want %v", sf, pl, got, want)
+			}
+			if got, want := tbl.TxEnergy(sf, pl), p.TxEnergy(pl); got != want {
+				t.Fatalf("%v payload %d: TxEnergy = %v, want %v", sf, pl, got, want)
+			}
+		}
+	}
+}
+
+func TestTableFallbackBeyondBound(t *testing.T) {
+	base := DefaultParams()
+	tbl, err := NewTable(base, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := base
+	p.SF = SF12
+	if got, want := tbl.TxEnergy(SF12, 200), p.TxEnergy(200); got != want {
+		t.Errorf("fallback TxEnergy = %v, want %v", got, want)
+	}
+	if got, want := tbl.Airtime(SF12, 200), p.Airtime(200); got != want {
+		t.Errorf("fallback Airtime = %v, want %v", got, want)
+	}
+	if tbl.MaxPayload() != 16 {
+		t.Errorf("MaxPayload = %d, want 16", tbl.MaxPayload())
+	}
+}
+
+func TestTableRejectsInvalid(t *testing.T) {
+	if _, err := NewTable(DefaultParams(), -1); err == nil {
+		t.Error("negative max payload should fail")
+	}
+	bad := DefaultParams()
+	bad.Bandwidth = 0
+	if _, err := NewTable(bad, 10); err == nil {
+		t.Error("invalid base params should fail")
+	}
+}
+
+func BenchmarkAirtimeDirect(b *testing.B) {
+	p := DefaultParams()
+	for i := 0; i < b.N; i++ {
+		_ = p.TxEnergy(18)
+	}
+}
+
+func BenchmarkAirtimeTable(b *testing.B) {
+	tbl, err := NewTable(DefaultParams(), 96)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tbl.TxEnergy(SF10, 18)
+	}
+}

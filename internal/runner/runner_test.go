@@ -1,0 +1,127 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d, want 5", got)
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		got, err := Map(context.Background(), workers, 37, func(_ context.Context, i int) (int, error) {
+			if i%3 == 0 {
+				time.Sleep(time.Millisecond) // shuffle completion order
+			}
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 37 {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(context.Background(), 4, 0, func(context.Context, int) (int, error) {
+		t.Fatal("fn called for n=0")
+		return 0, nil
+	})
+	if err != nil || got != nil {
+		t.Errorf("Map(n=0) = %v, %v", got, err)
+	}
+}
+
+func TestMapFirstErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int64
+	_, err := Map(context.Background(), 2, 1000, func(ctx context.Context, i int) (int, error) {
+		started.Add(1)
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Errorf("all %d jobs ran despite early error", n)
+	}
+}
+
+func TestMapSerialErrorStops(t *testing.T) {
+	boom := errors.New("boom")
+	var calls int
+	_, err := Map(context.Background(), 1, 10, func(context.Context, int) (int, error) {
+		calls++
+		if calls == 2 {
+			return 0, boom
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls != 2 {
+		t.Errorf("serial map made %d calls after error, want 2", calls)
+	}
+}
+
+func TestMapHonorsCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		if _, err := Map(ctx, workers, 10, func(context.Context, int) (int, error) {
+			return 0, nil
+		}); !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+func TestDeriveSeedStable(t *testing.T) {
+	if got := DeriveSeed(42, "sweep", 0); got != 42 {
+		t.Errorf("replicate 0 must return the base seed, got %d", got)
+	}
+	a := DeriveSeed(42, "sweep", 1)
+	if b := DeriveSeed(42, "sweep", 1); a != b {
+		t.Errorf("DeriveSeed not deterministic: %d vs %d", a, b)
+	}
+	seen := map[uint64]string{42: "base"}
+	for _, label := range []string{"sweep", "lifespan", "fig2"} {
+		for rep := 1; rep <= 50; rep++ {
+			s := DeriveSeed(42, label, rep)
+			if s == 0 {
+				t.Fatalf("DeriveSeed(%s,%d) = 0", label, rep)
+			}
+			key := fmt.Sprintf("%s/%d", label, rep)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: %s and %s both map to %d", prev, key, s)
+			}
+			seen[s] = key
+		}
+	}
+}

@@ -34,6 +34,7 @@ type Node struct {
 
 	rxEnergyJ  float64          // receive-window cost per attempt
 	ackAirtime simtime.Duration // downlink ACK duration at this SF
+	span       simtime.Duration // worst-case attempt duration, precomputed
 
 	lastIntegrated simtime.Time
 	extraDrawJ     float64 // radio energy awaiting the next balance chunk

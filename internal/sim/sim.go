@@ -79,6 +79,7 @@ type Simulation struct {
 	nodes  []*Node
 	util   utility.Function
 	gwPos  []radio.Position
+	phy    *lora.Table // memoized airtime/TX-energy per (SF, payload)
 
 	monthly      []float64
 	lifespanDays float64
@@ -97,6 +98,18 @@ func New(cfg config.Scenario, hooks Hooks) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
+	// All nodes share bandwidth, coding rate, preamble and TX power; only
+	// SF and payload vary per attempt, so one lookup table covers every
+	// airtime/energy query of the run. attemptSpan's 64-byte worst case
+	// bounds the payload range alongside data + piggy-backed reports.
+	base := lora.DefaultParams()
+	base.TxPowerDBm = cfg.TxPowerDBm
+	maxPayload := max(cfg.PayloadBytes+battery.ReportSize*maxReportsPerPacket,
+		cfg.AckPayloadBytes, 64)
+	phy, err := lora.NewTable(base, maxPayload)
+	if err != nil {
+		return nil, err
+	}
 	s := &Simulation{
 		cfg:    cfg,
 		hooks:  hooks,
@@ -105,6 +118,7 @@ func New(cfg config.Scenario, hooks Hooks) (*Simulation, error) {
 		server: server,
 		util:   utility.Linear{},
 		gwPos:  radio.GatewayLayout(cfg.Gateways, cfg.MaxDistanceM),
+		phy:    phy,
 	}
 	for id := 0; id < cfg.Nodes; id++ {
 		n, err := s.buildNode(id, trace)
@@ -253,6 +267,7 @@ func (s *Simulation) buildNode(id int, trace *energy.YearTrace) (*Node, error) {
 		sleepW:     cfg.SleepPowerW,
 		rxEnergyJ:  rxE,
 		ackAirtime: ackAirtime,
+		span:       params.Airtime(64) + rxWindowsSpan + 3*simtime.Second,
 	}, nil
 }
 
@@ -382,10 +397,9 @@ func (s *Simulation) generate(n *Node) {
 }
 
 // attemptSpan is the worst-case duration of one attempt: airtime plus
-// receive windows plus retransmission backoff headroom.
-func attemptSpan(n *Node) simtime.Duration {
-	return n.Params.Airtime(64) + rxWindowsSpan + 3*simtime.Second
-}
+// receive windows plus retransmission backoff headroom. It is constant
+// per node and precomputed at build time.
+func attemptSpan(n *Node) simtime.Duration { return n.span }
 
 // attempt transmits (or re-transmits) the packet if the battery can fund
 // it, deferring window by window otherwise.
@@ -403,7 +417,7 @@ func (s *Simulation) attempt(n *Node, pkt *packet) {
 	}
 	payload := s.cfg.PayloadBytes + battery.ReportSize*len(reports)
 	params := n.paramsForAttempt(pkt.attempts)
-	txE := params.TxEnergy(payload)
+	txE := s.phy.TxEnergy(params.SF, payload)
 
 	if !n.Batt.CanSupply(txE + n.rxEnergyJ) {
 		// Not enough stored energy: wait one forecast window for harvest,
@@ -423,7 +437,7 @@ func (s *Simulation) attempt(n *Node, pkt *packet) {
 	pkt.radioEnergyJ += txE
 	n.Stats.TxEnergyJ += txE
 
-	airtime := params.Airtime(payload)
+	airtime := s.phy.Airtime(params.SF, payload)
 	tx := &Transmission{
 		NodeID:   n.ID,
 		Channel:  n.ID % s.cfg.Channels,

@@ -54,9 +54,12 @@ type node struct {
 	rng     *rand.Rand
 	stats   *metrics.NodeStats
 
+	phy *lora.Table // shared immutable airtime/energy table, goroutine-safe
+
 	sleepW       float64
 	rxEnergyJ    float64
 	ackAirtime   simtime.Duration
+	attemptSpan  simtime.Duration // worst-case deadline check span, precomputed
 	lastIntegral simtime.Time
 	extraDrawJ   float64 // radio energy awaiting the next balance chunk
 	pendingTrans []battery.Transition
@@ -87,12 +90,24 @@ func Run(cfg config.Scenario) (*Result, error) {
 	clock := NewClock()
 	end := simtime.Time(cfg.Duration)
 
+	// One memoized airtime/energy table serves every node: all share
+	// bandwidth, coding rate and TX power, and the table is immutable
+	// after construction, so concurrent goroutine reads are safe.
+	base := lora.DefaultParams()
+	base.TxPowerDBm = cfg.TxPowerDBm
+	maxPayload := max(cfg.PayloadBytes+8*battery.ReportSize, cfg.AckPayloadBytes, 64)
+	phy, err := lora.NewTable(base, maxPayload)
+	if err != nil {
+		return nil, err
+	}
+
 	nodes := make([]*node, cfg.Nodes)
 	for id := range nodes {
 		n, err := buildNode(cfg, id, trace)
 		if err != nil {
 			return nil, fmt.Errorf("testbed: node %d: %w", id, err)
 		}
+		n.phy = phy
 		nodes[id] = n
 		server.Register(id, cfg.InitialSoC)
 	}
@@ -227,19 +242,20 @@ func buildNode(cfg config.Scenario, id int, trace *energy.YearTrace) (*node, err
 	store.SetChargeLimit(proto.Theta())
 
 	return &node{
-		id:         id,
-		params:     params,
-		period:     period,
-		windows:    windows,
-		proto:      proto,
-		batt:       store,
-		src:        src,
-		fc:         fc,
-		rng:        rng,
-		stats:      metrics.NewNodeStats(),
-		sleepW:     cfg.SleepPowerW,
-		rxEnergyJ:  rxE,
-		ackAirtime: params.Airtime(cfg.AckPayloadBytes),
+		id:          id,
+		params:      params,
+		period:      period,
+		windows:     windows,
+		proto:       proto,
+		batt:        store,
+		src:         src,
+		fc:          fc,
+		rng:         rng,
+		stats:       metrics.NewNodeStats(),
+		sleepW:      cfg.SleepPowerW,
+		rxEnergyJ:   rxE,
+		ackAirtime:  params.Airtime(cfg.AckPayloadBytes),
+		attemptSpan: params.Airtime(cfg.PayloadBytes) + rxWindowsSpan,
 	}, nil
 }
 
@@ -294,7 +310,7 @@ func (n *node) transmitPacket(cfg config.Scenario, clock *Clock, gw *Gateway,
 
 	for attempts < cfg.MaxAttempts {
 		now := clock.Now()
-		if now.Add(n.params.Airtime(cfg.PayloadBytes) + rxWindowsSpan).After(deadline) {
+		if now.Add(n.attemptSpan).After(deadline) {
 			break
 		}
 		n.integrate(now)
@@ -305,7 +321,7 @@ func (n *node) transmitPacket(cfg config.Scenario, clock *Clock, gw *Gateway,
 		}
 		payload := cfg.PayloadBytes + battery.ReportSize*len(reports)
 		params := paramsForAttempt(n.params, attempts)
-		txE := params.TxEnergy(payload)
+		txE := n.phy.TxEnergy(params.SF, payload)
 		if !n.batt.CanSupply(txE + n.rxEnergyJ) {
 			// Wait a window for harvest.
 			clock.Sleep(cfg.ForecastWindow)
@@ -318,7 +334,7 @@ func (n *node) transmitPacket(cfg config.Scenario, clock *Clock, gw *Gateway,
 		n.stats.TxEnergyJ += txE
 		radioEnergy += txE + n.rxEnergyJ
 
-		airtime := params.Airtime(payload)
+		airtime := n.phy.Airtime(params.SF, payload)
 		tx := &sim.Transmission{
 			NodeID:   n.id,
 			Channel:  n.id % cfg.Channels,
