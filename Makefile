@@ -9,6 +9,10 @@ DATE      := $(shell date -u +%Y-%m-%d)
 BENCHRE   ?= .
 COUNT     ?= 1
 BENCHTIME ?= 1s
+# Benchmarks inherit the invoking shell's GOMAXPROCS unless pinned;
+# without this the worker-scaling pair (SweepWorkers1 vs Max) measures
+# nothing on a constrained runner. NPROC=4 overrides the probe width.
+NPROC     ?= $(shell nproc)
 
 .PHONY: all build test race vet bench clean
 
@@ -28,10 +32,13 @@ vet:
 
 # Benchmarks run serially (-run '^$' skips tests); BENCHRE narrows the
 # set (`make bench BENCHRE=Sweep`), BENCHTIME=1x gives a fast smoke
-# record.
+# record. GOMAXPROCS is pinned to NPROC so the sweep worker-scaling
+# pair sees every core; cmd/benchjson records each benchmark's CPU
+# count and diffs allocs/op and B/op against the newest prior
+# BENCH_*.json (BENCHJSONFLAGS="-failregress" gates CI on it).
 bench: build
-	$(GO) test -run '^$$' -bench '$(BENCHRE)' -benchmem -count $(COUNT) -benchtime $(BENCHTIME) . \
-		| $(GO) run ./cmd/benchjson -out BENCH_$(DATE).json
+	GOMAXPROCS=$(NPROC) $(GO) test -run '^$$' -bench '$(BENCHRE)' -benchmem -count $(COUNT) -benchtime $(BENCHTIME) . \
+		| $(GO) run ./cmd/benchjson -out BENCH_$(DATE).json $(BENCHJSONFLAGS)
 
 clean:
 	rm -f BENCH_*.json

@@ -260,3 +260,34 @@ func BenchmarkSimulatorDay(b *testing.B) {
 		}
 	}
 }
+
+// benchSimLargeN runs one simulated day at the given network size and
+// reports throughput in simulated days per wall-clock second — the
+// large-N scaling headline tracked by the bench-regression harness.
+func benchSimLargeN(b *testing.B, nodes int) {
+	b.Helper()
+	cfg := config.Default().WithSeed(9)
+	cfg.Nodes = nodes
+	cfg.Duration = simtime.Day
+	if testing.Short() {
+		cfg.Duration = 2 * simtime.Hour
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := sim.New(cfg, sim.Hooks{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	simDays := cfg.Duration.Seconds() / (24 * 3600) * float64(b.N)
+	b.ReportMetric(simDays/b.Elapsed().Seconds(), "sim-days/s")
+}
+
+// BenchmarkSimulatorDayLargeN and BenchmarkSweep1000Nodes scale the
+// single-run workload to the paper's densest deployments; both shrink
+// to two simulated hours under -short so smoke runs stay fast.
+func BenchmarkSimulatorDayLargeN(b *testing.B) { benchSimLargeN(b, 500) }
+func BenchmarkSweep1000Nodes(b *testing.B)    { benchSimLargeN(b, 1000) }

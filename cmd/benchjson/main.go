@@ -8,9 +8,17 @@
 //
 // Standard metrics (ns/op, B/op, allocs/op) get dedicated fields; any
 // custom b.ReportMetric units (prr, lorawan-lifespan-days, ...) land in
-// the per-benchmark "metrics" map. When both sweep worker-scaling
-// benchmarks are present, the record also carries their wall-clock
-// ratio, the headline number of the parallel experiment engine.
+// the per-benchmark "metrics" map, and each benchmark records the CPU
+// count go test ran it with (the -N name suffix). When both sweep
+// worker-scaling benchmarks are present, the record also carries their
+// wall-clock ratio, the headline number of the parallel experiment
+// engine.
+//
+// Unless -baseline is "none", the run is also diffed against a prior
+// record (default: the newest other BENCH_*.json in the working
+// directory). Benchmarks whose allocs/op or bytes/op grew by more than
+// -maxregress are flagged on stderr and recorded in the "regressions"
+// array; -failregress turns them into a non-zero exit for CI.
 package main
 
 import (
@@ -19,7 +27,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -28,11 +38,22 @@ import (
 // Benchmark is one parsed benchmark result line.
 type Benchmark struct {
 	Name        string             `json:"name"`
+	CPUs        int                `json:"cpus"`
 	Iterations  int64              `json:"iterations"`
 	NsPerOp     float64            `json:"ns_per_op,omitempty"`
 	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Regression is one alloc-footprint metric that grew past the threshold
+// relative to the baseline record.
+type Regression struct {
+	Benchmark string  `json:"benchmark"`
+	Metric    string  `json:"metric"` // "allocs/op" or "B/op"
+	Baseline  float64 `json:"baseline"`
+	Current   float64 `json:"current"`
+	Ratio     float64 `json:"ratio"` // current / baseline
 }
 
 // Record is the whole run.
@@ -47,10 +68,23 @@ type Record struct {
 	// BenchmarkSweepWorkersMax ns/op: the fan-out engine's wall-clock
 	// gain on this machine. Omitted when either benchmark is absent.
 	SweepParallelSpeedup float64 `json:"sweep_parallel_speedup,omitempty"`
+	// SweepParallelCPUs is the CPU count the Max-side sweep benchmark ran
+	// with, so the speedup can be judged against the available cores.
+	SweepParallelCPUs int `json:"sweep_parallel_cpus,omitempty"`
+	// Baseline is the prior record this run was diffed against.
+	Baseline string `json:"baseline,omitempty"`
+	// Regressions flags allocs/op and bytes/op growth beyond the
+	// -maxregress threshold versus the baseline.
+	Regressions []Regression `json:"regressions,omitempty"`
 }
 
 func main() {
 	out := flag.String("out", "", "output file (default BENCH_<date>.json)")
+	baseline := flag.String("baseline", "auto",
+		"prior BENCH_*.json to diff against ('auto' = newest other record, 'none' = skip)")
+	maxregress := flag.Float64("maxregress", 0.10,
+		"allowed fractional growth in allocs/op and B/op before flagging a regression")
+	failregress := flag.Bool("failregress", false, "exit non-zero when regressions are found")
 	flag.Parse()
 
 	rec := Record{
@@ -81,12 +115,34 @@ func main() {
 
 	if w1, wMax := find(rec.Benchmarks, "SweepWorkers1"), find(rec.Benchmarks, "SweepWorkersMax"); w1 != nil && wMax != nil && wMax.NsPerOp > 0 {
 		rec.SweepParallelSpeedup = w1.NsPerOp / wMax.NsPerOp
+		rec.SweepParallelCPUs = wMax.CPUs
 	}
 
 	path := *out
 	if path == "" {
 		path = "BENCH_" + rec.Date + ".json"
 	}
+
+	if *baseline != "none" && *baseline != "" {
+		basePath := *baseline
+		if basePath == "auto" {
+			basePath = latestRecord(".", path)
+		}
+		if basePath != "" {
+			base, err := readRecord(basePath)
+			if err != nil {
+				fatal(fmt.Errorf("baseline %s: %w", basePath, err))
+			}
+			rec.Baseline = filepath.Base(basePath)
+			rec.Regressions = diffRecords(base, &rec, *maxregress)
+			for _, r := range rec.Regressions {
+				fmt.Fprintf(os.Stderr,
+					"benchjson: REGRESSION %s %s: %.0f -> %.0f (%.2fx, threshold %.2fx vs %s)\n",
+					r.Benchmark, r.Metric, r.Baseline, r.Current, r.Ratio, 1+*maxregress, rec.Baseline)
+			}
+		}
+	}
+
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -95,6 +151,9 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rec.Benchmarks), path)
+	if *failregress && len(rec.Regressions) > 0 {
+		fatal(fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", len(rec.Regressions), *maxregress*100))
+	}
 }
 
 // parseLine parses one `go test -bench` result line:
@@ -106,17 +165,20 @@ func parseLine(line string) (Benchmark, bool) {
 		return Benchmark{}, false
 	}
 	name := strings.TrimPrefix(fields[0], "Benchmark")
-	// Strip the -GOMAXPROCS suffix go test appends.
+	cpus := 1
+	// The -N suffix go test appends is the GOMAXPROCS the benchmark ran
+	// with (absent when it is 1).
 	if i := strings.LastIndex(name, "-"); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+		if n, err := strconv.Atoi(name[i+1:]); err == nil {
 			name = name[:i]
+			cpus = n
 		}
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
 		return Benchmark{}, false
 	}
-	b := Benchmark{Name: name, Iterations: iters}
+	b := Benchmark{Name: name, CPUs: cpus, Iterations: iters}
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
@@ -139,9 +201,85 @@ func parseLine(line string) (Benchmark, bool) {
 	return b, true
 }
 
+// diffRecords compares the allocation footprint of every benchmark
+// present in both records (matched by name and CPU count) and returns
+// the metrics that grew by more than maxregress. Timing is deliberately
+// not diffed: ns/op is too noisy across machines for a hard gate,
+// allocs/op and B/op are deterministic.
+func diffRecords(base, cur *Record, maxregress float64) []Regression {
+	var regs []Regression
+	for i := range cur.Benchmarks {
+		b := &cur.Benchmarks[i]
+		old := findCPU(base.Benchmarks, b.Name, b.CPUs)
+		if old == nil {
+			continue
+		}
+		for _, m := range []struct {
+			metric   string
+			old, new float64
+		}{
+			{"allocs/op", old.AllocsPerOp, b.AllocsPerOp},
+			{"B/op", old.BytesPerOp, b.BytesPerOp},
+		} {
+			if m.old <= 0 || m.new <= m.old*(1+maxregress) {
+				continue
+			}
+			regs = append(regs, Regression{
+				Benchmark: b.Name,
+				Metric:    m.metric,
+				Baseline:  m.old,
+				Current:   m.new,
+				Ratio:     m.new / m.old,
+			})
+		}
+	}
+	return regs
+}
+
+// latestRecord returns the lexicographically newest BENCH_*.json in dir
+// other than the file being written (BENCH_<ISO date> sorts by date), or
+// "" when none exists.
+func latestRecord(dir, exclude string) string {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return ""
+	}
+	sort.Strings(matches)
+	for i := len(matches) - 1; i >= 0; i-- {
+		if filepath.Base(matches[i]) != filepath.Base(exclude) {
+			return matches[i]
+		}
+	}
+	return ""
+}
+
+func readRecord(path string) (*Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
 func find(bs []Benchmark, name string) *Benchmark {
 	for i := range bs {
 		if bs[i].Name == name {
+			return &bs[i]
+		}
+	}
+	return nil
+}
+
+// findCPU matches a benchmark by name and CPU count; records written
+// before CPU tracking (CPUs == 0) match any count so old baselines stay
+// usable.
+func findCPU(bs []Benchmark, name string, cpus int) *Benchmark {
+	for i := range bs {
+		if bs[i].Name == name && (bs[i].CPUs == cpus || bs[i].CPUs == 0) {
 			return &bs[i]
 		}
 	}

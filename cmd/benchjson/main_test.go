@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	b, ok := parseLine("BenchmarkSweepWorkers1-4   \t       2\t 698211651 ns/op\t    0.914 h50-prr\t  64 B/op\t       2 allocs/op")
@@ -10,11 +14,22 @@ func TestParseLine(t *testing.T) {
 	if b.Name != "SweepWorkers1" {
 		t.Errorf("name = %q (GOMAXPROCS suffix should be stripped)", b.Name)
 	}
+	if b.CPUs != 4 {
+		t.Errorf("cpus = %d, want 4 (from the -4 suffix)", b.CPUs)
+	}
 	if b.Iterations != 2 || b.NsPerOp != 698211651 || b.BytesPerOp != 64 || b.AllocsPerOp != 2 {
 		t.Errorf("parsed %+v", b)
 	}
 	if b.Metrics["h50-prr"] != 0.914 {
 		t.Errorf("custom metric lost: %+v", b.Metrics)
+	}
+}
+
+func TestParseLineDefaultsToOneCPU(t *testing.T) {
+	// go test omits the -N suffix when GOMAXPROCS is 1.
+	b, ok := parseLine("BenchmarkSimulatorDay 10 5234 ns/op")
+	if !ok || b.CPUs != 1 {
+		t.Errorf("got %+v ok=%v, want cpus=1", b, ok)
 	}
 }
 
@@ -38,5 +53,68 @@ func TestParseLineKeepsHyphenatedNames(t *testing.T) {
 	b, ok := parseLine("BenchmarkFoo-bar 10 5 ns/op")
 	if !ok || b.Name != "Foo-bar" {
 		t.Errorf("got %+v ok=%v", b, ok)
+	}
+}
+
+func TestDiffRecordsFlagsGrowth(t *testing.T) {
+	base := &Record{Benchmarks: []Benchmark{
+		{Name: "SimulatorDay", CPUs: 1, AllocsPerOp: 10000, BytesPerOp: 1 << 20},
+		{Name: "Fig2Degradation", CPUs: 1, AllocsPerOp: 500, BytesPerOp: 4096},
+	}}
+	cur := &Record{Benchmarks: []Benchmark{
+		// allocs/op 2x up, B/op within threshold.
+		{Name: "SimulatorDay", CPUs: 1, AllocsPerOp: 20000, BytesPerOp: 1 << 20},
+		// Both within 10%.
+		{Name: "Fig2Degradation", CPUs: 1, AllocsPerOp: 540, BytesPerOp: 4100},
+		// No baseline entry: ignored.
+		{Name: "Sweep1000Nodes", CPUs: 1, AllocsPerOp: 9e9},
+	}}
+	regs := diffRecords(base, cur, 0.10)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %+v, want exactly the SimulatorDay allocs/op growth", regs)
+	}
+	r := regs[0]
+	if r.Benchmark != "SimulatorDay" || r.Metric != "allocs/op" || r.Ratio != 2 {
+		t.Errorf("regression = %+v", r)
+	}
+}
+
+func TestDiffRecordsImprovementIsNotARegression(t *testing.T) {
+	base := &Record{Benchmarks: []Benchmark{{Name: "SimulatorDay", CPUs: 1, AllocsPerOp: 57759, BytesPerOp: 5315392}}}
+	cur := &Record{Benchmarks: []Benchmark{{Name: "SimulatorDay", CPUs: 1, AllocsPerOp: 9944, BytesPerOp: 3936432}}}
+	if regs := diffRecords(base, cur, 0.10); len(regs) != 0 {
+		t.Errorf("improvement flagged as regression: %+v", regs)
+	}
+}
+
+func TestDiffRecordsMatchesByCPUCount(t *testing.T) {
+	// The same benchmark at a different CPU count is a different
+	// workload; it must not be compared across counts.
+	base := &Record{Benchmarks: []Benchmark{{Name: "SweepWorkersMax", CPUs: 4, AllocsPerOp: 100}}}
+	cur := &Record{Benchmarks: []Benchmark{{Name: "SweepWorkersMax", CPUs: 1, AllocsPerOp: 1000}}}
+	if regs := diffRecords(base, cur, 0.10); len(regs) != 0 {
+		t.Errorf("cross-CPU-count comparison happened: %+v", regs)
+	}
+	// Pre-CPU-tracking baselines (cpus absent = 0) still match.
+	base.Benchmarks[0].CPUs = 0
+	regs := diffRecords(base, cur, 0.10)
+	if len(regs) != 1 {
+		t.Errorf("legacy baseline should match any CPU count: %+v", regs)
+	}
+}
+
+func TestLatestRecordPicksNewestOther(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_2026-08-01.json", "BENCH_2026-08-06.json", "BENCH_2026-07-15.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := latestRecord(dir, "BENCH_2026-08-06.json")
+	if filepath.Base(got) != "BENCH_2026-08-01.json" {
+		t.Errorf("latest = %q, want BENCH_2026-08-01.json (newest excluding the output)", got)
+	}
+	if got := latestRecord(t.TempDir(), "BENCH_x.json"); got != "" {
+		t.Errorf("empty dir should yield no baseline, got %q", got)
 	}
 }

@@ -9,6 +9,8 @@
 //	experiments -run sweep -csv out/              # also write CSV files
 //	experiments -run sweep -j 1                   # force serial execution
 //	experiments -run sweep -replicates 5          # pool 5 derived-seed runs
+//	experiments -run scale -cpuprofile cpu.pprof -memprofile mem.pprof
+//	experiments -run scale -trace trace.out       # runtime execution trace
 //
 // Scales:
 //
@@ -26,6 +28,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"time"
 
@@ -53,8 +58,49 @@ func run() error {
 		workers  = flag.Int("j", 0, "worker pool size for fan-out within an experiment (0 = all CPUs, 1 = serial)")
 		reps     = flag.Int("replicates", 0, "derived-seed replicates pooled per scenario (0 or 1 = single run)")
 		verbose  = flag.Bool("v", false, "log per-run progress")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		defer trace.Stop()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Println("available experiments:")

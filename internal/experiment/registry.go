@@ -107,6 +107,12 @@ func Registry() []Entry {
 			PaperScale: "200 nodes, 120 days, 3 spreads x 2 protocols",
 			Run:        wrap(StartSpreadAblation),
 		},
+		{
+			Name:       "scale",
+			Artifacts:  "harness (single-run large-N scaling ladder)",
+			PaperScale: "125/250/500/1000 nodes, 2 days, BLA H-50",
+			Run:        Scale,
+		},
 	}
 }
 

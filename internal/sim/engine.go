@@ -7,48 +7,37 @@
 package sim
 
 import (
-	"container/heap"
-
 	"repro/internal/simtime"
 )
 
-// event is one scheduled callback.
-type event struct {
+// Event is one schedulable action. Implementations that are pooled
+// pointer types make Schedule allocation-free: storing a pointer (or a
+// func value) in the interface does not allocate, and the engine's
+// hand-rolled heap never boxes entries.
+type Event interface {
+	Fire()
+}
+
+// eventFunc adapts a plain closure to Event for callers that don't
+// need pooling (tests, one-shot setup events).
+type eventFunc func()
+
+func (f eventFunc) Fire() { f() }
+
+// entry is one queued event.
+type entry struct {
 	at  simtime.Time
 	seq uint64 // schedule order, to break timestamp ties deterministically
-	fn  func()
-}
-
-// eventHeap is a min-heap over (at, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	ev  Event
 }
 
 // Engine is a deterministic discrete-event executor. Events scheduled
-// for the same instant run in schedule order. Engine is not safe for
-// concurrent use.
+// for the same instant run in schedule order — the (at, seq) contract —
+// regardless of whether they are typed pooled events or closures.
+// Engine is not safe for concurrent use.
 type Engine struct {
 	now  simtime.Time
-	pq   eventHeap
+	pq   []entry // binary min-heap over (at, seq)
 	seq  uint64
 	stop bool
 }
@@ -62,16 +51,23 @@ func (e *Engine) Now() simtime.Time { return e.now }
 // Schedule enqueues fn at the given instant; past instants are clamped
 // to now (the event still runs, immediately after current-time events).
 func (e *Engine) Schedule(at simtime.Time, fn func()) {
-	if at < e.now {
-		at = e.now
-	}
-	e.seq++
-	heap.Push(&e.pq, event{at: at, seq: e.seq, fn: fn})
+	e.ScheduleEvent(at, eventFunc(fn))
 }
 
 // ScheduleAfter enqueues fn after the given delay.
 func (e *Engine) ScheduleAfter(d simtime.Duration, fn func()) {
 	e.Schedule(e.now.Add(d), fn)
+}
+
+// ScheduleEvent enqueues a typed event at the given instant under the
+// same clamping and tie-break rules as Schedule. It performs no
+// allocation beyond amortized heap growth.
+func (e *Engine) ScheduleEvent(at simtime.Time, ev Event) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.push(entry{at: at, seq: e.seq, ev: ev})
 }
 
 // Stop makes Run return after the current event.
@@ -86,9 +82,9 @@ func (e *Engine) Step() bool {
 	if len(e.pq) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.pq).(event)
-	e.now = ev.at
-	ev.fn()
+	en := e.pop()
+	e.now = en.at
+	en.ev.Fire()
 	return true
 }
 
@@ -98,11 +94,61 @@ func (e *Engine) Step() bool {
 func (e *Engine) Run(horizon simtime.Time) {
 	e.stop = false
 	for !e.stop && len(e.pq) > 0 && e.pq[0].at <= horizon {
-		ev := heap.Pop(&e.pq).(event)
-		e.now = ev.at
-		ev.fn()
+		en := e.pop()
+		e.now = en.at
+		en.ev.Fire()
 	}
 	if !e.stop && e.now < horizon {
 		e.now = horizon
 	}
+}
+
+// less orders the heap by (at, seq).
+func (a entry) less(b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push and pop are a hand-rolled binary heap: container/heap boxes
+// every element into an interface, which alone accounted for one
+// allocation per scheduled event.
+func (e *Engine) push(en entry) {
+	e.pq = append(e.pq, en)
+	i := len(e.pq) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.pq[i].less(e.pq[parent]) {
+			break
+		}
+		e.pq[i], e.pq[parent] = e.pq[parent], e.pq[i]
+		i = parent
+	}
+}
+
+func (e *Engine) pop() entry {
+	top := e.pq[0]
+	last := len(e.pq) - 1
+	e.pq[0] = e.pq[last]
+	e.pq[last] = entry{} // release the Event for GC
+	e.pq = e.pq[:last]
+	// Sift down.
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= last {
+			break
+		}
+		least := left
+		if right := left + 1; right < last && e.pq[right].less(e.pq[left]) {
+			least = right
+		}
+		if !e.pq[least].less(e.pq[i]) {
+			break
+		}
+		e.pq[i], e.pq[least] = e.pq[least], e.pq[i]
+		i = least
+	}
+	return top
 }

@@ -6,6 +6,14 @@ import (
 	"repro/internal/simtime"
 )
 
+// gwBits is a per-gateway flag set packed into 64-bit words, so the
+// per-transmission reception state costs a few words instead of three
+// []bool allocations per uplink.
+type gwBits []uint64
+
+func (b gwBits) get(g int) bool { return b[g>>6]&(1<<(uint(g)&63)) != 0 }
+func (b gwBits) set(g int)      { b[g>>6] |= 1 << (uint(g) & 63) }
+
 // Transmission is one uplink packet on the air, tracked from start to
 // end for collision resolution at every gateway. The paper's system
 // model allows "one or more gateways"; reception state is therefore kept
@@ -14,29 +22,84 @@ type Transmission struct {
 	NodeID  int
 	Channel int
 	SF      lora.SpreadingFactor
-	// PowerDBm is the received power at each gateway.
+	// PowerDBm is the received power at each gateway. The medium never
+	// mutates or retains it past EndUplink, so callers may share one
+	// slice across transmissions (the simulator reuses each node's
+	// static per-gateway powers).
 	PowerDBm []float64
 	Start    simtime.Time
 	End      simtime.Time
 
-	corrupted []bool // lost to co-SF interference or gateway downlink
-	weak      []bool // below receiver sensitivity
-	unlocked  []bool // no demodulator free / gateway deaf at start
+	corrupted gwBits // lost to co-SF interference or gateway downlink
+	weak      gwBits // below receiver sensitivity
+	unlocked  gwBits // no demodulator free / gateway deaf at start
 
 	anyViable bool // at least one gateway could still decode
+	begun     bool // passed through BeginUplink (per-gateway state valid)
+	pooled    bool // owned by the medium's free list; recycled on EndUplink
+
+	activeIdx int // position in Medium.active, for O(1) swap-remove
+	bucketIdx int // position in its (channel, SF) bucket
+
+	poolNext *Transmission
+}
+
+// ensureBits sizes and clears the per-gateway flag words; capacity is
+// retained across reuses so pooled transmissions stop allocating after
+// their first flight.
+func (tx *Transmission) ensureBits(words int) {
+	if cap(tx.weak) < words {
+		tx.weak = make(gwBits, words)
+		tx.corrupted = make(gwBits, words)
+		tx.unlocked = make(gwBits, words)
+		return
+	}
+	tx.weak = tx.weak[:words]
+	tx.corrupted = tx.corrupted[:words]
+	tx.unlocked = tx.unlocked[:words]
+	for i := 0; i < words; i++ {
+		tx.weak[i], tx.corrupted[i], tx.unlocked[i] = 0, 0, 0
+	}
+}
+
+// bucketKey indexes active transmissions by (channel, SF): only co-channel
+// co-SF signals interact under the capture model, so collision checks
+// never need to scan the rest of the air.
+func bucketKey(channel int, sf lora.SpreadingFactor) uint64 {
+	return uint64(channel)<<8 | uint64(sf)
 }
 
 // Medium arbitrates the shared radio channel as the gateways perceive
 // it: capture-based co-SF collisions per channel and per gateway, a
 // demodulator budget of omega concurrent uplinks per gateway, and
 // half-duplex deafness while a gateway transmits ACKs.
+//
+// Internally the air is indexed, not scanned: active transmissions live
+// in per-(channel, SF) buckets, the per-gateway count of
+// demodulator-holding uplinks is maintained incrementally, and ended
+// Transmission objects are recycled through a free list. All decisions
+// are byte-identical to a full rescan (see TestMediumEquivalence).
 type Medium struct {
 	bw       lora.Bandwidth
 	omega    int
 	gateways int
-	active   []*Transmission
+	words    int // gwBits words per flag set
+
+	active  []*Transmission
+	buckets map[uint64][]*Transmission
+	// locked[g] counts active uplinks holding one of gateway g's omega
+	// demodulators (not weak, not unlocked there). Lock state is fixed
+	// at BeginUplink and released at EndUplink, so the count never needs
+	// a rescan.
+	locked []int
+	// viable counts active transmissions decodable somewhere.
+	viable int
+
 	gwTxEnd  []simtime.Time // actual downlink in progress, per gateway
 	reserved []simtime.Time // promised downlink slots, per gateway
+
+	decoded []int // reusable EndUplink result buffer
+	freeTx  *Transmission
 }
 
 // NewMedium returns a medium for the given channel bandwidth, gateway
@@ -49,6 +112,9 @@ func NewMedium(bw lora.Bandwidth, omega int, gateways int) *Medium {
 		bw:       bw,
 		omega:    omega,
 		gateways: gateways,
+		words:    (gateways + 63) / 64,
+		buckets:  make(map[uint64][]*Transmission),
+		locked:   make([]int, gateways),
 		gwTxEnd:  make([]simtime.Time, gateways),
 		reserved: make([]simtime.Time, gateways),
 	}
@@ -57,60 +123,77 @@ func NewMedium(bw lora.Bandwidth, omega int, gateways int) *Medium {
 // Gateways returns the number of gateways.
 func (m *Medium) Gateways() int { return m.gateways }
 
+// NewTransmission returns a zero-cost Transmission from the free list
+// (or a fresh one). The caller fills the exported fields and passes it
+// to BeginUplink; EndUplink recycles it, so the caller must not touch
+// the transmission afterwards. Hand-constructed Transmissions remain
+// valid everywhere and are simply never recycled.
+func (m *Medium) NewTransmission() *Transmission {
+	if t := m.freeTx; t != nil {
+		m.freeTx = t.poolNext
+		t.poolNext = nil
+		return t
+	}
+	return &Transmission{pooled: true}
+}
+
 // BeginUplink registers a transmission starting now. Collision state is
 // updated immediately for the new signal and every overlapping one, at
 // every gateway. tx.PowerDBm must have one entry per gateway.
 func (m *Medium) BeginUplink(tx *Transmission) {
-	tx.weak = make([]bool, m.gateways)
-	tx.corrupted = make([]bool, m.gateways)
-	tx.unlocked = make([]bool, m.gateways)
+	tx.begun = true
+	tx.anyViable = false
+	tx.ensureBits(m.words)
 
 	sens := lora.Sensitivity(tx.SF, m.bw)
+	key := bucketKey(tx.Channel, tx.SF)
+	bkt := m.buckets[key]
 	for g := 0; g < m.gateways; g++ {
 		if tx.PowerDBm[g] < sens {
 			// Below sensitivity at this gateway: never decodable there and
 			// too faint to matter as interference.
-			tx.weak[g] = true
+			tx.weak.set(g)
 			continue
 		}
 		// Half-duplex gateway: a signal arriving while the gateway
 		// transmits cannot be preamble-locked.
 		if m.gwTxEnd[g] > tx.Start {
-			tx.unlocked[g] = true
+			tx.unlocked.set(g)
+		} else if m.locked[g] >= m.omega {
+			// Demodulator budget: omega concurrent locked uplinks per
+			// gateway.
+			tx.unlocked.set(g)
 		}
-		// Demodulator budget: omega concurrent locked uplinks per gateway.
-		locked := 0
-		for _, a := range m.active {
-			if !a.weak[g] && !a.unlocked[g] {
-				locked++
-			}
-		}
-		if locked >= m.omega {
-			tx.unlocked[g] = true
+		if !tx.unlocked.get(g) {
+			m.locked[g]++
 		}
 		// Co-channel, co-SF capture at this gateway; different SFs are
-		// quasi-orthogonal.
-		for _, a := range m.active {
-			if a.Channel != tx.Channel || a.SF != tx.SF || a.weak[g] {
+		// quasi-orthogonal, so only bucket members can interfere.
+		for _, a := range bkt {
+			if a.weak.get(g) {
 				continue
 			}
 			if !radio.Captures(tx.PowerDBm[g], []float64{a.PowerDBm[g]}) {
-				tx.corrupted[g] = true
+				tx.corrupted.set(g)
 			}
 			if !radio.Captures(a.PowerDBm[g], []float64{tx.PowerDBm[g]}) {
-				a.corrupted[g] = true
+				a.corrupted.set(g)
 			}
 		}
 	}
 	if m.viableAnywhere(tx) {
 		tx.anyViable = true
+		m.viable++
 	}
+	tx.activeIdx = len(m.active)
 	m.active = append(m.active, tx)
+	tx.bucketIdx = len(bkt)
+	m.buckets[key] = append(bkt, tx)
 }
 
 func (m *Medium) viableAnywhere(tx *Transmission) bool {
 	for g := 0; g < m.gateways; g++ {
-		if !tx.weak[g] {
+		if !tx.weak.get(g) {
 			return true
 		}
 	}
@@ -120,28 +203,54 @@ func (m *Medium) viableAnywhere(tx *Transmission) bool {
 // EndUplink removes the transmission and returns the gateways that
 // decoded it, strongest signal first (empty when the packet was lost
 // everywhere). Any of them can serve the ACK; callers fall back down
-// the list when a gateway's downlink radio is booked.
+// the list when a gateway's downlink radio is booked. The returned
+// slice is reused by the next EndUplink call; pooled transmissions are
+// recycled, so neither may be retained.
 func (m *Medium) EndUplink(tx *Transmission) []int {
-	for i, a := range m.active {
-		if a == tx {
-			m.active = append(m.active[:i], m.active[i+1:]...)
-			break
-		}
-	}
-	if tx.weak == nil {
+	if !tx.begun {
 		// Never begun (constructed by hand in tests): per-gateway state is
 		// absent; treat as a clean single-gateway reception.
-		return []int{0}
+		m.decoded = append(m.decoded[:0], 0)
+		return m.decoded
 	}
-	var decoded []int
+
+	// Swap-remove from the flat active list and from the (channel, SF)
+	// bucket; both positions are tracked on the transmission.
+	if last := len(m.active) - 1; tx.activeIdx <= last {
+		moved := m.active[last]
+		m.active[tx.activeIdx] = moved
+		moved.activeIdx = tx.activeIdx
+		m.active[last] = nil
+		m.active = m.active[:last]
+	}
+	key := bucketKey(tx.Channel, tx.SF)
+	if bkt := m.buckets[key]; len(bkt) > 0 {
+		last := len(bkt) - 1
+		moved := bkt[last]
+		bkt[tx.bucketIdx] = moved
+		moved.bucketIdx = tx.bucketIdx
+		bkt[last] = nil
+		m.buckets[key] = bkt[:last]
+	}
+	// Release this transmission's demodulator locks and viability count.
 	for g := 0; g < m.gateways; g++ {
-		if tx.weak[g] || tx.corrupted[g] || tx.unlocked[g] {
+		if !tx.weak.get(g) && !tx.unlocked.get(g) {
+			m.locked[g]--
+		}
+	}
+	if tx.anyViable {
+		m.viable--
+	}
+
+	decoded := m.decoded[:0]
+	for g := 0; g < m.gateways; g++ {
+		if tx.weak.get(g) || tx.corrupted.get(g) || tx.unlocked.get(g) {
 			continue
 		}
 		decoded = append(decoded, g)
 	}
-	// Insertion sort by descending power (the list has at most a few
-	// entries).
+	// Insertion sort by descending power; skipped entirely for the
+	// overwhelmingly common zero/one-gateway outcome.
 	for i := 1; i < len(decoded); i++ {
 		g := decoded[i]
 		j := i - 1
@@ -150,6 +259,14 @@ func (m *Medium) EndUplink(tx *Transmission) []int {
 			j--
 		}
 		decoded[j+1] = g
+	}
+	m.decoded = decoded
+
+	if tx.pooled {
+		tx.begun = false
+		tx.PowerDBm = nil
+		tx.poolNext = m.freeTx
+		m.freeTx = tx
 	}
 	return decoded
 }
@@ -175,18 +292,10 @@ func (m *Medium) BeginDownlink(gw int, until simtime.Time) {
 		m.gwTxEnd[gw] = until
 	}
 	for _, a := range m.active {
-		a.corrupted[gw] = true
+		a.corrupted.set(gw)
 	}
 }
 
 // ActiveUplinks returns the number of transmissions currently on the
 // air that at least one gateway could still decode.
-func (m *Medium) ActiveUplinks() int {
-	n := 0
-	for _, a := range m.active {
-		if a.anyViable {
-			n++
-		}
-	}
-	return n
-}
+func (m *Medium) ActiveUplinks() int { return m.viable }

@@ -1,0 +1,245 @@
+package sim
+
+// Equivalence harness for the indexed medium: a verbatim copy of the
+// pre-index scan-based implementation serves as the reference model,
+// and randomized multi-gateway workloads (including omega-exhausted
+// and half-duplex-deaf regimes) must produce byte-identical
+// collision/demodulator/deafness decisions on both.
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/lora"
+	"repro/internal/radio"
+	"repro/internal/simtime"
+)
+
+// refTransmission mirrors Transmission with the original []bool flags.
+type refTransmission struct {
+	Channel  int
+	SF       lora.SpreadingFactor
+	PowerDBm []float64
+	Start    simtime.Time
+
+	corrupted []bool
+	weak      []bool
+	unlocked  []bool
+	anyViable bool
+}
+
+// refMedium is the original scan-based medium, kept as the oracle.
+type refMedium struct {
+	bw       lora.Bandwidth
+	omega    int
+	gateways int
+	active   []*refTransmission
+	gwTxEnd  []simtime.Time
+	reserved []simtime.Time
+}
+
+func newRefMedium(bw lora.Bandwidth, omega, gateways int) *refMedium {
+	return &refMedium{
+		bw:       bw,
+		omega:    omega,
+		gateways: gateways,
+		gwTxEnd:  make([]simtime.Time, gateways),
+		reserved: make([]simtime.Time, gateways),
+	}
+}
+
+func (m *refMedium) BeginUplink(tx *refTransmission) {
+	tx.weak = make([]bool, m.gateways)
+	tx.corrupted = make([]bool, m.gateways)
+	tx.unlocked = make([]bool, m.gateways)
+
+	sens := lora.Sensitivity(tx.SF, m.bw)
+	for g := 0; g < m.gateways; g++ {
+		if tx.PowerDBm[g] < sens {
+			tx.weak[g] = true
+			continue
+		}
+		if m.gwTxEnd[g] > tx.Start {
+			tx.unlocked[g] = true
+		}
+		locked := 0
+		for _, a := range m.active {
+			if !a.weak[g] && !a.unlocked[g] {
+				locked++
+			}
+		}
+		if locked >= m.omega {
+			tx.unlocked[g] = true
+		}
+		for _, a := range m.active {
+			if a.Channel != tx.Channel || a.SF != tx.SF || a.weak[g] {
+				continue
+			}
+			if !radio.Captures(tx.PowerDBm[g], []float64{a.PowerDBm[g]}) {
+				tx.corrupted[g] = true
+			}
+			if !radio.Captures(a.PowerDBm[g], []float64{tx.PowerDBm[g]}) {
+				a.corrupted[g] = true
+			}
+		}
+	}
+	for g := 0; g < m.gateways; g++ {
+		if !tx.weak[g] {
+			tx.anyViable = true
+			break
+		}
+	}
+	m.active = append(m.active, tx)
+}
+
+func (m *refMedium) EndUplink(tx *refTransmission) []int {
+	for i, a := range m.active {
+		if a == tx {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
+	var decoded []int
+	for g := 0; g < m.gateways; g++ {
+		if tx.weak[g] || tx.corrupted[g] || tx.unlocked[g] {
+			continue
+		}
+		decoded = append(decoded, g)
+	}
+	for i := 1; i < len(decoded); i++ {
+		g := decoded[i]
+		j := i - 1
+		for j >= 0 && tx.PowerDBm[decoded[j]] < tx.PowerDBm[g] {
+			decoded[j+1] = decoded[j]
+			j--
+		}
+		decoded[j+1] = g
+	}
+	return decoded
+}
+
+func (m *refMedium) ReserveDownlink(gw int, start, end simtime.Time) bool {
+	if m.reserved[gw] > start || m.gwTxEnd[gw] > start {
+		return false
+	}
+	m.reserved[gw] = end
+	return true
+}
+
+func (m *refMedium) BeginDownlink(gw int, until simtime.Time) {
+	if until > m.gwTxEnd[gw] {
+		m.gwTxEnd[gw] = until
+	}
+	for _, a := range m.active {
+		a.corrupted[gw] = true
+	}
+}
+
+func (m *refMedium) ActiveUplinks() int {
+	n := 0
+	for _, a := range m.active {
+		if a.anyViable {
+			n++
+		}
+	}
+	return n
+}
+
+// inFlight pairs one live transmission across both models.
+type inFlight struct {
+	idx *Transmission
+	ref *refTransmission
+}
+
+// TestMediumEquivalence drives randomized workloads through the
+// indexed medium and the scan-based oracle: every decode decision,
+// reservation outcome, and viable-uplink count must match exactly.
+// Small omega and dense bursts keep the demodulator budget exhausted;
+// random downlinks exercise half-duplex deafness mid-reception.
+func TestMediumEquivalence(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 0x3e0))
+
+		gateways := 1 + rng.IntN(3)
+		omega := 1 + rng.IntN(2)
+		channels := 1 + rng.IntN(2)
+		sfs := []lora.SpreadingFactor{lora.SF7, lora.SF8, lora.SF9}
+
+		idx := NewMedium(lora.BW125, omega, gateways)
+		ref := newRefMedium(lora.BW125, omega, gateways)
+
+		var live []inFlight
+		now := simtime.Time(0)
+		for step := 0; step < 400; step++ {
+			now += simtime.Time(rng.Int64N(int64(200 * simtime.Millisecond)))
+			switch op := rng.IntN(10); {
+			case op < 5 || len(live) == 0: // begin an uplink
+				powers := make([]float64, gateways)
+				for g := range powers {
+					// Straddle the SF7..SF9 sensitivity band (-129.5..-123)
+					// so weak-at-some-gateways cases are common.
+					powers[g] = -135 + 50*rng.Float64()
+				}
+				ch := rng.IntN(channels)
+				sf := sfs[rng.IntN(len(sfs))]
+
+				tx := idx.NewTransmission()
+				tx.NodeID = step
+				tx.Channel = ch
+				tx.SF = sf
+				tx.PowerDBm = powers
+				tx.Start = now
+				tx.End = now + simtime.Time(simtime.Second)
+				idx.BeginUplink(tx)
+				rtx := &refTransmission{Channel: ch, SF: sf, PowerDBm: powers, Start: now}
+				ref.BeginUplink(rtx)
+				live = append(live, inFlight{idx: tx, ref: rtx})
+
+			case op < 8: // end a random uplink, compare decode decisions
+				i := rng.IntN(len(live))
+				pair := live[i]
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				got := idx.EndUplink(pair.idx)
+				want := ref.EndUplink(pair.ref)
+				if len(got) != len(want) {
+					t.Fatalf("seed %d step %d: decoded %v, oracle %v", seed, step, got, want)
+				}
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("seed %d step %d: decoded %v, oracle %v", seed, step, got, want)
+					}
+				}
+
+			default: // downlink activity on a random gateway
+				gw := rng.IntN(gateways)
+				end := now + simtime.Time(rng.Int64N(int64(2*simtime.Second)))
+				gotOK := idx.ReserveDownlink(gw, now, end)
+				wantOK := ref.ReserveDownlink(gw, now, end)
+				if gotOK != wantOK {
+					t.Fatalf("seed %d step %d: reserve %v, oracle %v", seed, step, gotOK, wantOK)
+				}
+				if gotOK {
+					idx.BeginDownlink(gw, end)
+					ref.BeginDownlink(gw, end)
+				}
+			}
+			if got, want := idx.ActiveUplinks(), ref.ActiveUplinks(); got != want {
+				t.Fatalf("seed %d step %d: active %d, oracle %d", seed, step, got, want)
+			}
+		}
+		// Drain everything still on the air; decisions must keep matching.
+		for _, pair := range live {
+			got := idx.EndUplink(pair.idx)
+			want := ref.EndUplink(pair.ref)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d drain: decoded %v, oracle %v", seed, got, want)
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("seed %d drain: decoded %v, oracle %v", seed, got, want)
+				}
+			}
+		}
+	}
+}

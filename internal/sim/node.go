@@ -40,6 +40,8 @@ type Node struct {
 	extraDrawJ     float64 // radio energy awaiting the next balance chunk
 	pkt            *packet
 	pendingTrans   []battery.Transition // SoC transitions awaiting report
+	transPair      [2]battery.Transition
+	reportBuf      []battery.Report // reused wire-encoding buffer
 }
 
 // draw charges radio energy against the node's energy balance. Per the
@@ -64,13 +66,17 @@ func (n *Node) paramsForAttempt(attemptIdx int) lora.Params {
 }
 
 // packet is the in-flight uplink of a node (at most one at a time).
+// Packets are recycled through the simulation's free list; gen counts
+// lives so events scheduled for an earlier life are ignored.
 type packet struct {
+	gen          uint64
 	genAt        simtime.Time
 	deadline     simtime.Time // next packet's generation
 	window       int
 	attempts     int
 	radioEnergyJ float64 // total radio draw: transmissions + rx windows
 	finished     bool
+	next         *packet // free-list link
 }
 
 // integrate advances the node's energy state from its last integration
@@ -128,7 +134,8 @@ func (n *Node) drainReports() {
 		if first == second {
 			trans = trans[first : first+1]
 		} else {
-			trans = []battery.Transition{trans[first], trans[second]}
+			n.transPair[0], n.transPair[1] = trans[first], trans[second]
+			trans = n.transPair[:]
 		}
 	}
 	n.pendingTrans = append(n.pendingTrans, trans...)
@@ -141,14 +148,16 @@ func (n *Node) drainReports() {
 }
 
 // encodeReports converts pending transitions to wire form relative to
-// the packet transmission time.
+// the packet transmission time. The returned slice is a per-node buffer
+// reused on the next call; the network server decodes it immediately.
 func (n *Node) encodeReports(packetAt simtime.Time, window simtime.Duration) []battery.Report {
 	if len(n.pendingTrans) == 0 {
 		return nil
 	}
-	out := make([]battery.Report, len(n.pendingTrans))
-	for i, tr := range n.pendingTrans {
-		out[i] = battery.EncodeTransition(tr, packetAt, window)
+	out := n.reportBuf[:0]
+	for _, tr := range n.pendingTrans {
+		out = append(out, battery.EncodeTransition(tr, packetAt, window))
 	}
+	n.reportBuf = out
 	return out
 }

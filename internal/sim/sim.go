@@ -83,6 +83,9 @@ type Simulation struct {
 
 	monthly      []float64
 	lifespanDays float64
+
+	freeEv  *simEvent // pooled typed events
+	freePkt *packet   // pooled packets
 }
 
 // New builds a simulation from a validated scenario.
@@ -283,16 +286,15 @@ func (s *Simulation) Run() (*Result, error) {
 	}
 
 	for _, n := range s.nodes {
-		n := n
 		spread := cfg.StartSpread
 		if spread == 0 {
 			spread = n.Period
 		}
 		first := simtime.Time(n.rng.Int64N(int64(spread)))
-		s.eng.Schedule(first, func() { s.generate(n) })
+		s.schedule(first, evGenerate, n, nil, nil, 0, 0)
 	}
-	s.eng.Schedule(0, s.dailyTick)
-	s.eng.Schedule(simtime.Time(30*simtime.Day), s.monthlyTick)
+	s.schedule(0, evDaily, nil, nil, nil, 0, 0)
+	s.schedule(simtime.Time(30*simtime.Day), evMonthly, nil, nil, nil, 0, 0)
 
 	s.eng.Run(simtime.Time(horizon))
 
@@ -329,7 +331,7 @@ func (s *Simulation) dailyTick() {
 		s.eng.Stop()
 		return
 	}
-	s.eng.ScheduleAfter(simtime.Day, s.dailyTick)
+	s.schedule(now.Add(simtime.Day), evDaily, nil, nil, nil, 0, 0)
 }
 
 func (s *Simulation) monthlyTick() {
@@ -338,7 +340,7 @@ func (s *Simulation) monthlyTick() {
 	if s.hooks.OnMonth != nil {
 		s.hooks.OnMonth(now, s.nodes)
 	}
-	s.eng.ScheduleAfter(30*simtime.Day, s.monthlyTick)
+	s.schedule(now.Add(30*simtime.Day), evMonthly, nil, nil, nil, 0, 0)
 }
 
 func (s *Simulation) maxGroundTruthDeg(now simtime.Time) float64 {
@@ -375,11 +377,10 @@ func (s *Simulation) generate(n *Node) {
 		}
 	} else {
 		window := clampInt(dec.Window, 0, n.Windows-1)
-		pkt := &packet{
-			genAt:    now,
-			deadline: now.Add(n.Period),
-			window:   window,
-		}
+		pkt := s.newPacket()
+		pkt.genAt = now
+		pkt.deadline = now.Add(n.Period)
+		pkt.window = window
 		n.pkt = pkt
 		n.Stats.WindowHist.Add(window)
 
@@ -390,10 +391,10 @@ func (s *Simulation) generate(n *Node) {
 			}
 		}
 		at := now.Add(simtime.Duration(window)*s.cfg.ForecastWindow + offset)
-		s.eng.Schedule(at, func() { s.attempt(n, pkt) })
+		s.schedule(at, evAttempt, n, pkt, nil, 0, 0)
 	}
 
-	s.eng.Schedule(now.Add(n.Period), func() { s.generate(n) })
+	s.schedule(now.Add(n.Period), evGenerate, n, nil, nil, 0, 0)
 }
 
 // attemptSpan is the worst-case duration of one attempt: airtime plus
@@ -402,9 +403,11 @@ func (s *Simulation) generate(n *Node) {
 func attemptSpan(n *Node) simtime.Duration { return n.span }
 
 // attempt transmits (or re-transmits) the packet if the battery can fund
-// it, deferring window by window otherwise.
-func (s *Simulation) attempt(n *Node, pkt *packet) {
-	if pkt.finished || n.pkt != pkt {
+// it, deferring window by window otherwise. gen is the packet life the
+// triggering event was scheduled for; a mismatch means the packet was
+// recycled since.
+func (s *Simulation) attempt(n *Node, pkt *packet, gen uint64) {
+	if pkt.gen != gen || pkt.finished || n.pkt != pkt {
 		return
 	}
 	now := s.eng.Now()
@@ -427,7 +430,7 @@ func (s *Simulation) attempt(n *Node, pkt *packet) {
 			s.finish(n, pkt, false, now)
 			return
 		}
-		s.eng.Schedule(retry, func() { s.attempt(n, pkt) })
+		s.schedule(retry, evAttempt, n, pkt, nil, 0, 0)
 		return
 	}
 
@@ -438,22 +441,21 @@ func (s *Simulation) attempt(n *Node, pkt *packet) {
 	n.Stats.TxEnergyJ += txE
 
 	airtime := s.phy.Airtime(params.SF, payload)
-	tx := &Transmission{
-		NodeID:   n.ID,
-		Channel:  n.ID % s.cfg.Channels,
-		SF:       params.SF,
-		PowerDBm: n.rxPowerDBm,
-		Start:    now,
-		End:      now.Add(airtime),
-	}
+	tx := s.med.NewTransmission()
+	tx.NodeID = n.ID
+	tx.Channel = n.ID % s.cfg.Channels
+	tx.SF = params.SF
+	tx.PowerDBm = n.rxPowerDBm
+	tx.Start = now
+	tx.End = now.Add(airtime)
 	s.med.BeginUplink(tx)
-	s.eng.Schedule(tx.End, func() { s.txEnd(n, pkt, tx) })
+	s.schedule(tx.End, evTxEnd, n, pkt, tx, 0, 0)
 }
 
 // txEnd resolves one transmission attempt: gateway decoding, ACK
 // scheduling, or retransmission.
-func (s *Simulation) txEnd(n *Node, pkt *packet, tx *Transmission) {
-	if pkt.finished || n.pkt != pkt {
+func (s *Simulation) txEnd(n *Node, pkt *packet, gen uint64, tx *Transmission) {
+	if pkt.gen != gen || pkt.finished || n.pkt != pkt {
 		s.med.EndUplink(tx)
 		return
 	}
@@ -470,10 +472,9 @@ func (s *Simulation) txEnd(n *Node, pkt *packet, tx *Transmission) {
 		rx1 := now.Add(rx1Delay)
 		ackEnd := rx1.Add(n.ackAirtime)
 		for _, gw := range gws {
-			gw := gw
 			if s.med.ReserveDownlink(gw, rx1, ackEnd) {
-				s.eng.Schedule(rx1, func() { s.med.BeginDownlink(gw, ackEnd) })
-				s.eng.Schedule(ackEnd, func() { s.ackDelivered(n, pkt) })
+				s.schedule(rx1, evDownlink, nil, nil, nil, gw, ackEnd)
+				s.schedule(ackEnd, evAckDone, n, pkt, nil, 0, 0)
 				return
 			}
 		}
@@ -494,13 +495,13 @@ func (s *Simulation) retryOrFail(n *Node, pkt *packet, now simtime.Time) {
 		s.finish(n, pkt, false, now)
 		return
 	}
-	s.eng.Schedule(retry, func() { s.attempt(n, pkt) })
+	s.schedule(retry, evAttempt, n, pkt, nil, 0, 0)
 }
 
 // ackDelivered completes a packet successfully: the ACK carries the
 // gateway's latest normalized degradation for this node.
-func (s *Simulation) ackDelivered(n *Node, pkt *packet) {
-	if pkt.finished || n.pkt != pkt {
+func (s *Simulation) ackDelivered(n *Node, pkt *packet, gen uint64) {
+	if pkt.gen != gen || pkt.finished || n.pkt != pkt {
 		return
 	}
 	now := s.eng.Now()
@@ -537,6 +538,7 @@ func (s *Simulation) finish(n *Node, pkt *packet, delivered bool, now simtime.Ti
 	if s.hooks.OnPacketDone != nil {
 		s.hooks.OnPacketDone(n.ID, delivered, pkt.attempts, pkt.window)
 	}
+	s.releasePacket(pkt)
 }
 
 // rxPowers computes the node's static received power at every gateway.

@@ -24,6 +24,15 @@ func NewGateway(med *sim.Medium, server *netserver.Server) *Gateway {
 	return &Gateway{med: med, server: server}
 }
 
+// NewTransmission hands out a pooled transmission from the medium's
+// free list. The caller owns it exclusively until EndUplink recycles
+// it (the mutex hand-off makes the transfer race-free).
+func (g *Gateway) NewTransmission() *sim.Transmission {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.med.NewTransmission()
+}
+
 // BeginUplink registers a node's transmission start.
 func (g *Gateway) BeginUplink(tx *sim.Transmission) {
 	g.mu.Lock()

@@ -60,9 +60,11 @@ type node struct {
 	rxEnergyJ    float64
 	ackAirtime   simtime.Duration
 	attemptSpan  simtime.Duration // worst-case deadline check span, precomputed
+	rxPowerDBm   []float64        // static received power at the gateway
 	lastIntegral simtime.Time
 	extraDrawJ   float64 // radio energy awaiting the next balance chunk
 	pendingTrans []battery.Transition
+	wireBuf      []battery.Report // reused report-encoding buffer
 }
 
 // Run executes the emulated testbed for the scenario. It reuses the
@@ -256,6 +258,9 @@ func buildNode(cfg config.Scenario, id int, trace *energy.YearTrace) (*node, err
 		rxEnergyJ:   rxE,
 		ackAirtime:  params.Airtime(cfg.AckPayloadBytes),
 		attemptSpan: params.Airtime(cfg.PayloadBytes) + rxWindowsSpan,
+		// The link is static (fixed placement, deterministic shadowing
+		// draw), so the received power is computed once per node.
+		rxPowerDBm: []float64{cfg.PathLoss.RxPowerDBm(cfg.TxPowerDBm, radioPos(id), uint64(id))},
 	}, nil
 }
 
@@ -335,14 +340,13 @@ func (n *node) transmitPacket(cfg config.Scenario, clock *Clock, gw *Gateway,
 		radioEnergy += txE + n.rxEnergyJ
 
 		airtime := n.phy.Airtime(params.SF, payload)
-		tx := &sim.Transmission{
-			NodeID:   n.id,
-			Channel:  n.id % cfg.Channels,
-			SF:       params.SF,
-			PowerDBm: []float64{cfg.PathLoss.RxPowerDBm(cfg.TxPowerDBm, radioPos(n.id), uint64(n.id))},
-			Start:    now,
-			End:      now.Add(airtime),
-		}
+		tx := gw.NewTransmission()
+		tx.NodeID = n.id
+		tx.Channel = n.id % cfg.Channels
+		tx.SF = params.SF
+		tx.PowerDBm = n.rxPowerDBm
+		tx.Start = now
+		tx.End = now.Add(airtime)
 		gw.BeginUplink(tx)
 		clock.Sleep(airtime)
 
@@ -350,10 +354,11 @@ func (n *node) transmitPacket(cfg config.Scenario, clock *Clock, gw *Gateway,
 		n.integrate(txEnd)
 		n.extraDrawJ += n.rxEnergyJ
 
-		wire := make([]battery.Report, len(reports))
-		for i, tr := range reports {
-			wire[i] = battery.EncodeTransition(tr, txEnd, cfg.ForecastWindow)
+		wire := n.wireBuf[:0]
+		for _, tr := range reports {
+			wire = append(wire, battery.EncodeTransition(tr, txEnd, cfg.ForecastWindow))
 		}
+		n.wireBuf = wire
 		decoded, ackReserved, ackEnd := gw.EndUplink(tx, n.id, wire, txEnd,
 			cfg.ForecastWindow, rx1Delay, n.ackAirtime)
 		if decoded && ackReserved {
