@@ -189,7 +189,7 @@ func BenchmarkTableIOverhead(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	bla.OnDegradationUpdate(0.7)
+	bla.OnDegradationUpdate(0, 0.7)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if d := bla.DecideTx(simtime.Time(i)*simtime.Time(simtime.Minute), 40, 1); d.Drop {
@@ -290,4 +290,4 @@ func benchSimLargeN(b *testing.B, nodes int) {
 // single-run workload to the paper's densest deployments; both shrink
 // to two simulated hours under -short so smoke runs stay fast.
 func BenchmarkSimulatorDayLargeN(b *testing.B) { benchSimLargeN(b, 500) }
-func BenchmarkSweep1000Nodes(b *testing.B)    { benchSimLargeN(b, 1000) }
+func BenchmarkSweep1000Nodes(b *testing.B)     { benchSimLargeN(b, 1000) }

@@ -7,6 +7,7 @@
 //	blasim -protocol lorawan -nodes 500 -duration 720h
 //	blasim -protocol bla -theta 0.5 -nodes 100 -duration 8760h -json
 //	blasim -protocol bla -theta 0.5 -run-to-eol -aging 10
+//	blasim -downlink-loss 0.3 -outage-len 24h -outage-every 168h -wu-ttl 2h
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/faults"
 	"repro/internal/lora"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -38,6 +40,8 @@ type summary struct {
 	DegradationVar   float64 `json:"degradationVar"`
 	DegradationMax   float64 `json:"degradationMax"`
 	DroppedByMACPct  float64 `json:"droppedByMacPct"`
+	Brownouts        int64   `json:"brownouts,omitempty"`
+	StaleWuDecisions int64   `json:"staleWuDecisions,omitempty"`
 	LifespanDays     float64 `json:"lifespanDays,omitempty"`
 	WallClockSeconds float64 `json:"wallClockSeconds"`
 }
@@ -66,6 +70,16 @@ func run() error {
 		noHistory = flag.Bool("no-retx-history", false, "disable the Eq. 14 retransmission history")
 		jsonOut   = flag.Bool("json", false, "emit the summary as JSON")
 		nodeCSV   = flag.String("nodes-csv", "", "also write per-node results to this CSV file")
+
+		downLoss     = flag.Float64("downlink-loss", 0, "probability of losing an ACK/beacon after PHY success")
+		upLoss       = flag.Float64("uplink-loss", 0, "probability of losing a decoded uplink on the backhaul")
+		upDup        = flag.Float64("uplink-dup", 0, "probability of duplicating a decoded uplink on the backhaul")
+		outageStart  = flag.Duration("outage-start", 0, "first gateway outage start (with -outage-len)")
+		outageLen    = flag.Duration("outage-len", 0, "gateway outage length (0 = no outages)")
+		outageEvery  = flag.Duration("outage-every", 0, "outage repeat period (0 = single outage)")
+		brownoutMTBF = flag.Duration("brownout-mtbf", 0, "mean time between node brownouts (0 = none)")
+		wuTTL        = flag.Duration("wu-ttl", 0, "node-side w_u beacon freshness TTL (0 = never stale)")
+		wuFallback   = flag.Float64("wu-stale-fallback", 1, "conservative w_u used once the beacon is stale")
 	)
 	flag.Parse()
 
@@ -85,6 +99,17 @@ func run() error {
 		cfg.BatteryModel.K1 *= *aging
 		cfg.BatteryModel.K6 *= *aging
 	}
+	cfg.Faults = faults.Config{
+		DownlinkLoss:    *downLoss,
+		UplinkLoss:      *upLoss,
+		UplinkDup:       *upDup,
+		OutageStart:     simtime.FromDuration(*outageStart),
+		OutageLen:       simtime.FromDuration(*outageLen),
+		OutageEvery:     simtime.FromDuration(*outageEvery),
+		BrownoutMTBF:    simtime.FromDuration(*brownoutMTBF),
+		WuTTL:           simtime.FromDuration(*wuTTL),
+		WuStaleFallback: *wuFallback,
+	}
 
 	started := time.Now()
 	s, err := sim.New(cfg, sim.Hooks{})
@@ -98,7 +123,7 @@ func run() error {
 
 	var prr, att, util, lat, deg metrics.Welford
 	var txE float64
-	var generated, neverSent int64
+	var generated, neverSent, brownouts, staleWu int64
 	for _, n := range res.Nodes {
 		prr.Add(n.Stats.PRR())
 		att.Add(n.Stats.AvgAttempts())
@@ -108,6 +133,8 @@ func run() error {
 		txE += n.Stats.TxEnergyJ
 		generated += n.Stats.Generated
 		neverSent += n.Stats.NeverSent
+		brownouts += n.Stats.Brownouts
+		staleWu += n.Stats.StaleWuDecisions
 	}
 	dropped := 0.0
 	if generated > 0 {
@@ -127,6 +154,8 @@ func run() error {
 		DegradationVar:   deg.Variance(),
 		DegradationMax:   deg.Max(),
 		DroppedByMACPct:  dropped,
+		Brownouts:        brownouts,
+		StaleWuDecisions: staleWu,
 		LifespanDays:     res.LifespanDays * *aging,
 		WallClockSeconds: time.Since(started).Seconds(),
 	}
@@ -153,6 +182,10 @@ func run() error {
 	fmt.Printf("degradation       mean %.5f  var %.3g  max %.5f\n",
 		out.DegradationMean, out.DegradationVar, out.DegradationMax)
 	fmt.Printf("dropped by MAC    %.1f%%\n", out.DroppedByMACPct)
+	if out.Brownouts > 0 || out.StaleWuDecisions > 0 {
+		fmt.Printf("faults            %d brownouts, %d stale-w_u decisions\n",
+			out.Brownouts, out.StaleWuDecisions)
+	}
 	if out.LifespanDays > 0 {
 		fmt.Printf("battery lifespan  %.0f days (%.2f years)\n", out.LifespanDays, out.LifespanDays/365)
 	}

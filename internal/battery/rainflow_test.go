@@ -155,6 +155,69 @@ func TestCounterMatchesBatch(t *testing.T) {
 	}
 }
 
+// TestCounterInvariantUnderInterleavedAppendPending: AppendPending is a
+// read-only query that reuses internal scratch, so calling it between
+// pushes — zero, one, or many times, with fresh or recycled dst slices —
+// must never perturb the counter. The invariant
+// Rainflow(history) == emitted + PendingCycles() has to hold at every
+// prefix regardless of how queries interleave with the stream.
+func TestCounterInvariantUnderInterleavedAppendPending(t *testing.T) {
+	f := func(seed uint64, rawN uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 29))
+		n := int(rawN%60) + 1
+		pts := make([]float64, n)
+		for i := range pts {
+			// Quantized values provoke plateau and equal-range edge cases.
+			pts[i] = float64(rng.IntN(9)) / 8
+		}
+		var emitted []Cycle
+		c := &Counter{OnCycle: func(cy Cycle) { emitted = append(emitted, cy) }}
+		var recycled []Cycle
+		for i, p := range pts {
+			// Adversarial query burst before the push: 0-3 AppendPending
+			// calls, alternating fresh and recycled (non-empty) dst.
+			for q := rng.IntN(4); q > 0; q-- {
+				if q%2 == 0 {
+					recycled = c.AppendPending(recycled[:0])
+				} else {
+					c.AppendPending(nil)
+				}
+			}
+			c.Push(p)
+			got := append(append([]Cycle(nil), emitted...), c.PendingCycles()...)
+			if !sameCycles(got, Rainflow(pts[:i+1])) {
+				return false
+			}
+		}
+		// Queries after the stream ends must agree with each other too.
+		if !sameCycles(c.PendingCycles(), c.AppendPending(nil)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCounterAppendPendingReusesDst: the allocation-free contract —
+// pending cycles are appended after dst's existing elements, which stay
+// untouched.
+func TestCounterAppendPendingReusesDst(t *testing.T) {
+	var c Counter
+	for _, v := range []float64{0, 1, 0.4, 0.6} {
+		c.Push(v)
+	}
+	sentinel := Cycle{Range: -1, Mean: -1, Count: -1}
+	got := c.AppendPending([]Cycle{sentinel})
+	if len(got) < 2 || got[0] != sentinel {
+		t.Fatalf("AppendPending clobbered dst prefix: %+v", got)
+	}
+	if !sameCycles(got[1:], c.PendingCycles()) {
+		t.Errorf("appended tail %v != PendingCycles %v", got[1:], c.PendingCycles())
+	}
+}
+
 func TestCounterPendingCyclesIdempotent(t *testing.T) {
 	var c Counter
 	for _, v := range []float64{0, 1, 0.4, 0.6, 0.1, 0.9} {

@@ -25,10 +25,16 @@ const ReportSize = 4
 // EncodeTransition converts a transition to wire form relative to the
 // packet transmission time and the node's forecast-window length.
 // Transitions older than 65535 windows saturate.
+//
+// The offset is the difference of absolute window indices
+// (floor(t/window)), not of raw times: a report retransmitted in a
+// later packet then decodes to the same window-aligned instant, so the
+// gateway's duplicate guard recognizes it instead of ingesting a
+// shifted phantom transition.
 func EncodeTransition(tr Transition, packetAt simtime.Time, window simtime.Duration) Report {
-	ago := int64(0)
-	if tr.At.Before(packetAt) {
-		ago = int64(packetAt.Sub(tr.At) / window)
+	ago := windowIndex(packetAt, window) - windowIndex(tr.At, window)
+	if ago < 0 {
+		ago = 0
 	}
 	if ago > math.MaxUint16 {
 		ago = math.MaxUint16
@@ -42,13 +48,26 @@ func EncodeTransition(tr Transition, packetAt simtime.Time, window simtime.Durat
 
 // Decode reconstructs the transition from wire form given the packet's
 // reception time and the node's forecast-window length. The recovered
-// time is quantized to whole windows and the SoC to 1/65535, which is the
-// precision the gateway-side degradation computation works with.
+// time is quantized to whole windows (the start of the transition's
+// window) and the SoC to 1/65535, which is the precision the
+// gateway-side degradation computation works with.
 func (r Report) Decode(packetAt simtime.Time, window simtime.Duration) Transition {
+	idx := windowIndex(packetAt, window) - int64(r.WindowsAgo)
 	return Transition{
-		At:  packetAt.Add(-simtime.Duration(r.WindowsAgo) * window),
+		At:  simtime.Time(idx * int64(window)),
 		SoC: float64(r.SoCQ) / math.MaxUint16,
 	}
+}
+
+// windowIndex is the absolute forecast-window index containing t
+// (floored toward negative infinity so pre-epoch times stay ordered).
+func windowIndex(t simtime.Time, window simtime.Duration) int64 {
+	v, w := int64(t), int64(window)
+	idx := v / w
+	if v%w < 0 {
+		idx--
+	}
+	return idx
 }
 
 // MarshalReports serializes reports to the compact on-air byte form.

@@ -52,6 +52,38 @@ func TestEncodeTransitionClamps(t *testing.T) {
 	}
 }
 
+// TestEncodeTransitionRetransmissionStable: a transition report carried
+// by a retry packet sent at a later time must decode to the same
+// window-aligned instant as the original, so the gateway's duplicate
+// guard can recognize it. This holds because the offset is a difference
+// of absolute window indices, not of raw times.
+func TestEncodeTransitionRetransmissionStable(t *testing.T) {
+	window := simtime.Minute
+	tr := Transition{At: simtime.Time(97*simtime.Minute + 13*simtime.Second), SoC: 0.42}
+
+	first := simtime.Time(100*simtime.Minute + 7*simtime.Second)
+	decoded := EncodeTransition(tr, first, window).Decode(first, window)
+
+	// Retries at arbitrary (non-window-aligned) later times.
+	for _, delay := range []simtime.Duration{
+		3 * simtime.Second,
+		41 * simtime.Second,
+		2*simtime.Minute + 59*simtime.Second,
+		17 * simtime.Minute,
+	} {
+		retry := first.Add(delay)
+		again := EncodeTransition(tr, retry, window).Decode(retry, window)
+		if again != decoded {
+			t.Errorf("retry at +%v decoded %+v, original %+v", delay, again, decoded)
+		}
+	}
+
+	// The decoded instant is the start of the transition's window.
+	if want := simtime.Time(97 * simtime.Minute); decoded.At != want {
+		t.Errorf("decoded At = %v, want window start %v", decoded.At, want)
+	}
+}
+
 func TestMarshalUnmarshalRoundTrip(t *testing.T) {
 	f := func(raws []uint32) bool {
 		reports := make([]Report, len(raws))

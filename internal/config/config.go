@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/battery"
 	"repro/internal/energy"
+	"repro/internal/faults"
 	"repro/internal/lora"
 	"repro/internal/radio"
 	"repro/internal/simtime"
@@ -147,6 +148,13 @@ type Scenario struct {
 	// disseminates w_u (paper: daily).
 	DegradationInterval simtime.Duration
 
+	// Faults configures control-plane fault injection (downlink/uplink
+	// loss, gateway outages, node brownouts) and the node-side
+	// stale-weight fallback. The zero value models the paper's perfect
+	// control plane and leaves every run byte-identical to a build
+	// without the fault layer.
+	Faults faults.Config
+
 	// Duration is the simulated time; ignored when RunToEoL is set.
 	Duration simtime.Duration
 	// RunToEoL ends the run when the first battery reaches end of life
@@ -279,6 +287,9 @@ func (s Scenario) Validate() error {
 		return fmt.Errorf("config: %w", err)
 	}
 	if err := s.Solar.Validate(); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	if err := s.Faults.Validate(); err != nil {
 		return fmt.Errorf("config: %w", err)
 	}
 	return nil

@@ -11,6 +11,7 @@ import "fmt"
 // (including retransmissions) and beta weights recent observations.
 type TxEnergyEstimator struct {
 	beta     float64
+	initial  float64
 	estimate float64
 	seen     bool
 }
@@ -19,10 +20,20 @@ type TxEnergyEstimator struct {
 // weight (clamped into (0,1]) and an initial estimate, typically the
 // single-attempt transmission energy of the node's radio settings.
 func NewTxEnergyEstimator(beta, initial float64) *TxEnergyEstimator {
+	initial = max(0, initial)
 	return &TxEnergyEstimator{
 		beta:     min(1, max(1e-3, beta)),
-		estimate: max(0, initial),
+		initial:  initial,
+		estimate: initial,
 	}
+}
+
+// Reset discards all observations, returning the estimator to its
+// just-constructed state (a node rebooting after a brownout loses this
+// volatile state).
+func (e *TxEnergyEstimator) Reset() {
+	e.estimate = e.initial
+	e.seen = false
 }
 
 // Observe folds the actual energy consumption of the last packet into
@@ -75,6 +86,15 @@ func NewRetxHistory(windows, maxRetx int) (*RetxHistory, error) {
 
 // Windows returns the number of window indexes tracked.
 func (h *RetxHistory) Windows() int { return len(h.counts) }
+
+// Reset clears all recorded observations (volatile state lost on a node
+// brownout), returning every window to the optimistic no-history prior.
+func (h *RetxHistory) Reset() {
+	for i := range h.counts {
+		clear(h.counts[i])
+	}
+	clear(h.selected)
+}
 
 // Observe records that a packet sent in the given window needed the
 // given number of retransmissions. Out-of-range values are clamped, so

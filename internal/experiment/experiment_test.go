@@ -66,7 +66,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig2", "fig3", "sweep", "lifespan", "fig9", "tableI", "optgap",
 		"abl-forecast", "abl-weightb", "abl-retxhist", "abl-supercap",
-		"abl-gateways", "abl-startspread", "scale",
+		"abl-gateways", "abl-startspread", "scale", "faults",
 	}
 	reg := Registry()
 	if len(reg) != len(want) {

@@ -1,0 +1,128 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/simtime"
+)
+
+// faultsVariant is one control-plane reliability setting of the
+// robustness sweep: a downlink (ACK/beacon) loss probability crossed
+// with a weekly gateway outage of the given length.
+type faultsVariant struct {
+	label     string
+	loss      float64
+	outageLen simtime.Duration
+}
+
+func faultsVariants() []faultsVariant {
+	losses := []float64{0, 0.10, 0.30}
+	outages := []simtime.Duration{0, 6 * simtime.Hour, 24 * simtime.Hour}
+	var vs []faultsVariant
+	for _, ol := range outages {
+		for _, loss := range losses {
+			out := "none"
+			if ol > 0 {
+				out = fmt.Sprintf("%dh/wk", int64(ol/simtime.Hour))
+			}
+			vs = append(vs, faultsVariant{
+				label:     fmt.Sprintf("loss %.0f%% outage %s", 100*loss, out),
+				loss:      loss,
+				outageLen: ol,
+			})
+		}
+	}
+	return vs
+}
+
+// faultsScenario builds one robustness scenario: the paper's H-50
+// protocol under a lossy control plane, with the stale-weight TTL and
+// conservative fallback engaged on every row so the zero-fault row
+// doubles as a TTL-overhead baseline.
+func faultsScenario(o Options, v faultsVariant) config.Scenario {
+	cfg := config.Default().WithSeed(o.seed())
+	cfg.Nodes = o.nodes(200)
+	cfg.Duration = o.duration(120 * simtime.Day)
+	cfg.Protocol = config.ProtocolBLA
+	cfg.Theta = 0.5
+	applyAging(&cfg, o.aging())
+	cfg.Faults = faults.Config{
+		DownlinkLoss:    v.loss,
+		WuTTL:           2 * simtime.Hour,
+		WuStaleFallback: 1,
+	}
+	if v.outageLen > 0 {
+		cfg.Faults.OutageStart = 2 * simtime.Day
+		cfg.Faults.OutageLen = v.outageLen
+		cfg.Faults.OutageEvery = 7 * simtime.Day
+	}
+	return cfg
+}
+
+// FaultsSweep regenerates the robustness table: minimum projected
+// battery lifespan versus control-plane reliability, sweeping downlink
+// loss rate x weekly gateway outage length. The lifespan proxy linearly
+// extrapolates the run's worst per-node degradation to the battery
+// model's EoL threshold, so graceful degradation shows up as a smooth
+// decline (and a collapse — e.g. every node falling back to w_u = 1
+// forever — as a cliff). Paper scale: 200 H-50 nodes, 120 days, 9
+// fault settings.
+func FaultsSweep(o Options) (*Table, error) {
+	vs := faultsVariants()
+	labels := make([]string, len(vs))
+	cfgs := make([]config.Scenario, len(vs))
+	for i, v := range vs {
+		labels[i] = v.label
+		cfgs[i] = faultsScenario(o, v)
+	}
+	sums, err := runScenarios(o, "faults", labels, cfgs)
+	if err != nil {
+		return nil, err
+	}
+
+	eol := cfgs[0].BatteryModel.EoLThreshold
+	t := &Table{
+		ID:    "faults",
+		Title: "Robustness: min lifespan vs control-plane reliability (H-50)",
+		Columns: []string{
+			"downlink loss", "outage", "min lifespan yrs", "max degradation",
+			"avg PRR", "min PRR", "stale w_u (%)",
+		},
+	}
+	for i, s := range sums {
+		v := vs[i]
+		out := "none"
+		if v.outageLen > 0 {
+			out = fmt.Sprintf("%dh/wk", int64(v.outageLen/simtime.Hour))
+		}
+		maxDeg := metrics.BoxOf(s.degs).Max
+		life := "n/a"
+		if maxDeg > 0 {
+			years := s.elapsedD / 365 * o.aging() * eol / maxDeg
+			life = fmt.Sprintf("%.2f", years)
+		}
+		stale := 0.0
+		if s.generated > 0 {
+			stale = 100 * float64(s.staleWu) / float64(s.generated)
+		}
+		prr := metrics.BoxOf(s.prr)
+		t.AddRow(
+			fmt.Sprintf("%.0f%%", 100*v.loss),
+			out,
+			life,
+			fmt.Sprintf("%.5f", maxDeg),
+			fmt.Sprintf("%.3f", prr.Mean),
+			fmt.Sprintf("%.3f", prr.Min),
+			fmt.Sprintf("%.1f", stale),
+		)
+	}
+	t.AddNote("min lifespan linearly extrapolates the worst node's degradation to the %.0f%% EoL threshold", 100*eol)
+	t.AddNote("stale w_u: share of transmit decisions that used the conservative fallback (TTL %v, fallback w_u = 1)", 2*simtime.Hour)
+	t.AddNote("outages recur weekly starting day 2; downlink loss drops ACKs (and the piggybacked w_u beacon) after PHY success")
+	noteAging(t, o)
+	noteReplicates(t, o)
+	return t, nil
+}

@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// renderTable flattens a table to the exact text the CLI prints.
+func renderTable(t *testing.T, tbl *Table) string {
+	t.Helper()
+	var b strings.Builder
+	if err := tbl.Fprint(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestFaultsSweepTiny(t *testing.T) {
+	tbl, err := FaultsSweep(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 9 {
+		t.Fatalf("faults rows = %d, want 3 loss rates x 3 outage lengths", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		for _, cell := range row {
+			if strings.Contains(cell, "NaN") || strings.Contains(cell, "Inf") {
+				t.Errorf("non-finite cell %q in row %v", cell, row)
+			}
+		}
+		if row[2] == "n/a" {
+			t.Errorf("lifespan proxy missing in row %v", row)
+		}
+	}
+}
+
+// TestFaultsSweepDeterministic locks the acceptance contract: the
+// rendered faults table is byte-identical across repeated runs and
+// across worker counts, replicates included.
+func TestFaultsSweepDeterministic(t *testing.T) {
+	render := func(o Options) string {
+		tbl, err := FaultsSweep(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderTable(t, tbl)
+	}
+
+	base := tiny()
+	first := render(base)
+	if again := render(base); again != first {
+		t.Errorf("faults table differs across identical runs:\n%s\nvs\n%s", first, again)
+	}
+	serial := base
+	serial.Workers = 1
+	if got := render(serial); got != first {
+		t.Errorf("faults table differs at -j 1:\n%s\nvs\n%s", first, got)
+	}
+	wide := base
+	wide.Workers = 3
+	if got := render(wide); got != first {
+		t.Errorf("faults table differs at -j 3:\n%s\nvs\n%s", first, got)
+	}
+
+	reps := base
+	reps.Replicates = 2
+	repFirst := render(reps)
+	reps.Workers = 4
+	if got := render(reps); got != repFirst {
+		t.Errorf("replicated faults table differs across worker counts:\n%s\nvs\n%s", repFirst, got)
+	}
+}

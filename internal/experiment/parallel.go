@@ -117,8 +117,12 @@ func mergeSummaries(parts []*runSummary) *runSummary {
 		m.txEnergyJ += p.txEnergyJ
 		m.neverSent += p.neverSent
 		m.generated += p.generated
+		m.brownouts += p.brownouts
+		m.staleWu += p.staleWu
+		m.elapsedD += p.elapsedD
 	}
 	m.txEnergyJ /= float64(len(parts))
+	m.elapsedD /= float64(len(parts))
 	return m
 }
 

@@ -113,6 +113,12 @@ func Registry() []Entry {
 			PaperScale: "125/250/500/1000 nodes, 2 days, BLA H-50",
 			Run:        Scale,
 		},
+		{
+			Name:       "faults",
+			Artifacts:  "robustness (min lifespan vs control-plane reliability)",
+			PaperScale: "200 H-50 nodes, 120 days, 3 loss rates x 3 outage lengths",
+			Run:        wrap(FaultsSweep),
+		},
 	}
 }
 

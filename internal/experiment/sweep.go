@@ -41,10 +41,13 @@ type runSummary struct {
 	majorityWn []int
 	neverSent  int64
 	generated  int64
+	brownouts  int64
+	staleWu    int64
+	elapsedD   float64 // simulated days (averaged over replicates)
 }
 
 func summarize(res *sim.Result) *runSummary {
-	s := &runSummary{label: res.Label}
+	s := &runSummary{label: res.Label, elapsedD: res.Elapsed.Days()}
 	for _, n := range res.Nodes {
 		s.prr = append(s.prr, n.Stats.PRR())
 		s.attempts = append(s.attempts, n.Stats.AvgAttempts())
@@ -56,6 +59,8 @@ func summarize(res *sim.Result) *runSummary {
 		s.txEnergyJ += n.Stats.TxEnergyJ
 		s.neverSent += n.Stats.NeverSent
 		s.generated += n.Stats.Generated
+		s.brownouts += n.Stats.Brownouts
+		s.staleWu += n.Stats.StaleWuDecisions
 		if m, ok := n.Stats.WindowHist.Mode(); ok {
 			s.majorityWn = append(s.majorityWn, m)
 		}

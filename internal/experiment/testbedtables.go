@@ -128,7 +128,7 @@ func TableI(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	bla.OnDegradationUpdate(0.7)
+	bla.OnDegradationUpdate(0, 0.7)
 	blaBench := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			_ = bla.DecideTx(0, windows, 1)

@@ -1,0 +1,203 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero", Config{}, true},
+		{"full", Config{
+			DownlinkLoss: 0.3, UplinkLoss: 0.1, UplinkDup: 0.05,
+			OutageStart: simtime.Day, OutageLen: 6 * simtime.Hour, OutageEvery: 7 * simtime.Day,
+			BrownoutMTBF: 30 * simtime.Day,
+			WuTTL:        2 * simtime.Day, WuStaleFallback: 1,
+		}, true},
+		{"downlink loss > 1", Config{DownlinkLoss: 1.1}, false},
+		{"negative uplink loss", Config{UplinkLoss: -0.1}, false},
+		{"dup > 1", Config{UplinkDup: 2}, false},
+		{"negative outage start", Config{OutageStart: -1}, false},
+		{"negative outage length", Config{OutageLen: -1}, false},
+		{"period shorter than outage", Config{OutageLen: simtime.Day, OutageEvery: simtime.Hour}, false},
+		{"negative MTBF", Config{BrownoutMTBF: -1}, false},
+		{"negative TTL", Config{WuTTL: -1}, false},
+		{"fallback > 1", Config{WuStaleFallback: 1.5}, false},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestActive(t *testing.T) {
+	if (Config{}).Active() {
+		t.Fatal("zero config reported active")
+	}
+	if (Config{WuTTL: simtime.Day, WuStaleFallback: 1}).Active() {
+		t.Fatal("staleness-only config reported active: TTL needs no plan")
+	}
+	for _, cfg := range []Config{
+		{DownlinkLoss: 0.1},
+		{UplinkLoss: 0.1},
+		{UplinkDup: 0.1},
+		{OutageLen: simtime.Hour},
+		{BrownoutMTBF: simtime.Day},
+	} {
+		if !cfg.Active() {
+			t.Errorf("config %+v should be active", cfg)
+		}
+	}
+}
+
+func TestNilPlanIsInert(t *testing.T) {
+	var p *Plan
+	if p.DropUplink(0) || p.DuplicateUplink(0) || p.DropDownlink(0) {
+		t.Fatal("nil plan injected a control-plane fault")
+	}
+	if p.GatewayDown(simtime.Time(0).Add(simtime.Year)) {
+		t.Fatal("nil plan reported gateway outage")
+	}
+	if _, ok := p.NextBrownout(0, 0); ok {
+		t.Fatal("nil plan scheduled a brownout")
+	}
+	if p.Config() != (Config{}) {
+		t.Fatal("nil plan config not zero")
+	}
+}
+
+func TestPlanDeterministicAcrossBuilds(t *testing.T) {
+	cfg := Config{DownlinkLoss: 0.5, UplinkLoss: 0.2, UplinkDup: 0.1, BrownoutMTBF: 10 * simtime.Day}
+	a, err := NewPlan(cfg, 42, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPlan(cfg, 42, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for node := 0; node < 8; node++ {
+		at := simtime.Time(0)
+		for i := 0; i < 200; i++ {
+			if a.DropUplink(node) != b.DropUplink(node) ||
+				a.DuplicateUplink(node) != b.DuplicateUplink(node) ||
+				a.DropDownlink(node) != b.DropDownlink(node) {
+				t.Fatalf("node %d draw %d: control streams diverged", node, i)
+			}
+		}
+		for i := 0; i < 20; i++ {
+			ta, oka := a.NextBrownout(node, at)
+			tb, okb := b.NextBrownout(node, at)
+			if oka != okb || ta != tb {
+				t.Fatalf("node %d brownout %d: %v/%v vs %v/%v", node, i, ta, oka, tb, okb)
+			}
+			at = ta
+		}
+	}
+}
+
+func TestPlanStreamsIndependentPerNode(t *testing.T) {
+	cfg := Config{DownlinkLoss: 0.5}
+	// Draw node 1 heavily on one plan, not at all on the other; node 0's
+	// stream must be unaffected.
+	a, _ := NewPlan(cfg, 7, 2)
+	b, _ := NewPlan(cfg, 7, 2)
+	for i := 0; i < 100; i++ {
+		a.DropDownlink(1)
+	}
+	for i := 0; i < 100; i++ {
+		if a.DropDownlink(0) != b.DropDownlink(0) {
+			t.Fatalf("draw %d: node 0 stream perturbed by node 1 draws", i)
+		}
+	}
+}
+
+func TestPlanSeedSensitivity(t *testing.T) {
+	cfg := Config{DownlinkLoss: 0.5}
+	a, _ := NewPlan(cfg, 1, 1)
+	b, _ := NewPlan(cfg, 2, 1)
+	same := 0
+	const draws = 256
+	for i := 0; i < draws; i++ {
+		if a.DropDownlink(0) == b.DropDownlink(0) {
+			same++
+		}
+	}
+	if same == draws {
+		t.Fatal("different seeds produced identical fault streams")
+	}
+}
+
+func TestGatewayDown(t *testing.T) {
+	p, err := NewPlan(Config{
+		OutageStart: 2 * simtime.Day,
+		OutageLen:   6 * simtime.Hour,
+		OutageEvery: 7 * simtime.Day,
+	}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(d simtime.Duration) simtime.Time { return simtime.Time(0).Add(d) }
+	cases := []struct {
+		at   simtime.Time
+		down bool
+	}{
+		{at(0), false},
+		{at(2*simtime.Day - 1), false},
+		{at(2 * simtime.Day), true},
+		{at(2*simtime.Day + 6*simtime.Hour - 1), true},
+		{at(2*simtime.Day + 6*simtime.Hour), false},
+		{at(9 * simtime.Day), true},                 // second window opens
+		{at(9*simtime.Day + 6*simtime.Hour), false}, // second window closes
+		{at(2*simtime.Day + 70*simtime.Day), true},  // 10 periods later
+		{at(3*simtime.Day + 70*simtime.Day), false}, // well clear of window
+	}
+	for _, tc := range cases {
+		if got := p.GatewayDown(tc.at); got != tc.down {
+			t.Errorf("GatewayDown(%v) = %v, want %v", tc.at, got, tc.down)
+		}
+	}
+
+	single, _ := NewPlan(Config{OutageStart: simtime.Day, OutageLen: simtime.Hour}, 1, 1)
+	if !single.GatewayDown(at(simtime.Day + 30*simtime.Minute)) {
+		t.Fatal("inside single outage window not reported down")
+	}
+	if single.GatewayDown(at(8 * simtime.Day)) {
+		t.Fatal("single (non-repeating) outage reported down a week later")
+	}
+}
+
+func TestNextBrownoutAdvances(t *testing.T) {
+	p, err := NewPlan(Config{BrownoutMTBF: 10 * simtime.Day}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := simtime.Time(0)
+	var total simtime.Duration
+	const n = 500
+	for i := 0; i < n; i++ {
+		next, ok := p.NextBrownout(0, at)
+		if !ok {
+			t.Fatal("brownouts disabled despite MTBF > 0")
+		}
+		if next <= at {
+			t.Fatalf("brownout %d not strictly after current time: %v <= %v", i, next, at)
+		}
+		total += next.Sub(at)
+		at = next
+	}
+	mean := total / n
+	if mean < 5*simtime.Day || mean > 20*simtime.Day {
+		t.Fatalf("mean inter-brownout gap %v implausible for MTBF 10d", mean)
+	}
+}

@@ -59,8 +59,13 @@ type Protocol interface {
 	// estimators can learn.
 	OnOutcome(o Outcome)
 	// OnDegradationUpdate delivers the gateway's normalized degradation
-	// w_u in [0,1] (piggy-backed on ACKs, at most daily).
-	OnDegradationUpdate(wu float64)
+	// w_u in [0,1] (piggy-backed on ACKs, at most daily). now is the
+	// reception time, which staleness-aware protocols use to age the
+	// weight.
+	OnDegradationUpdate(now simtime.Time, wu float64)
+	// Reset discards the protocol's volatile state (learned estimators,
+	// the cached w_u), as a node rebooting after a brownout would.
+	Reset()
 }
 
 // ALOHA is the LoRaWAN baseline: transmit immediately (window 0), no
@@ -84,7 +89,10 @@ func (ALOHA) DecideTx(simtime.Time, int, float64) Decision {
 func (ALOHA) OnOutcome(Outcome) {}
 
 // OnDegradationUpdate implements Protocol.
-func (ALOHA) OnDegradationUpdate(float64) {}
+func (ALOHA) OnDegradationUpdate(simtime.Time, float64) {}
+
+// Reset implements Protocol; ALOHA keeps no volatile state.
+func (ALOHA) Reset() {}
 
 // ThetaOnly is the paper's H-50C ablation: it caps the battery at theta
 // like BLA but transmits immediately like LoRaWAN, isolating the
@@ -119,7 +127,11 @@ func (p *ThetaOnly) DecideTx(simtime.Time, int, float64) Decision {
 func (p *ThetaOnly) OnOutcome(Outcome) {}
 
 // OnDegradationUpdate implements Protocol.
-func (p *ThetaOnly) OnDegradationUpdate(float64) {}
+func (p *ThetaOnly) OnDegradationUpdate(simtime.Time, float64) {}
+
+// Reset implements Protocol; the charge cap is configuration, not
+// volatile state.
+func (p *ThetaOnly) Reset() {}
 
 // BLAConfig parameterizes one node's battery lifespan-aware MAC.
 type BLAConfig struct {
@@ -148,6 +160,17 @@ type BLAConfig struct {
 	MaxAttempts int
 	// DisableRetxHistory turns off the Eq. (14) history (ablation).
 	DisableRetxHistory bool
+
+	// WuTTL is how long a received w_u stays trusted. When no beacon
+	// arrived within the TTL (lost ACKs, gateway outage), decisions use
+	// WuStaleFallback instead. Zero disables staleness tracking: the
+	// node trusts the last w_u forever, the paper's implicit assumption.
+	WuTTL simtime.Duration
+	// WuStaleFallback is the w_u assumed while the received weight is
+	// stale. A high value is conservative: the selector treats the node
+	// as if it were near the network's worst-off battery and weights
+	// degradation impact fully.
+	WuStaleFallback float64
 }
 
 // Validate reports the first invalid field.
@@ -169,6 +192,10 @@ func (c BLAConfig) Validate() error {
 		return fmt.Errorf("mac: non-positive tx energy %v", c.SingleTxEnergyJ)
 	case c.MaxAttempts <= 0:
 		return fmt.Errorf("mac: non-positive max attempts %d", c.MaxAttempts)
+	case c.WuTTL < 0:
+		return fmt.Errorf("mac: negative w_u TTL %v", c.WuTTL)
+	case c.WuStaleFallback < 0 || c.WuStaleFallback > 1:
+		return fmt.Errorf("mac: w_u stale fallback %v outside [0,1]", c.WuStaleFallback)
 	}
 	return nil
 }
@@ -181,7 +208,12 @@ type BLA struct {
 	selector  *core.Selector
 	estimator *core.TxEnergyEstimator
 	history   *core.RetxHistory
-	wu        float64
+
+	wu      float64
+	wuAt    simtime.Time // when the current w_u arrived
+	wuFresh bool         // a beacon arrived since construction/reset
+
+	staleDecisions int64
 
 	// scratch, reused across decisions
 	estTx []float64
@@ -223,6 +255,24 @@ func (p *BLA) Theta() float64 { return p.cfg.Theta }
 // NormalizedDegradation returns the latest w_u received.
 func (p *BLA) NormalizedDegradation() float64 { return p.wu }
 
+// StaleDecisions returns how many transmit decisions fell back to the
+// conservative w_u because the received weight had exceeded its TTL.
+func (p *BLA) StaleDecisions() int64 { return p.staleDecisions }
+
+// effectiveWu returns the w_u Algorithm 1 should trust at the given
+// decision time: the received weight while fresh, the conservative
+// fallback once the TTL elapsed (or before any beacon arrived).
+func (p *BLA) effectiveWu(at simtime.Time) float64 {
+	if p.cfg.WuTTL <= 0 {
+		return p.wu
+	}
+	if !p.wuFresh || at.Sub(p.wuAt) > p.cfg.WuTTL {
+		p.staleDecisions++
+		return p.cfg.WuStaleFallback
+	}
+	return p.wu
+}
+
 // DecideTx implements Protocol by running Algorithm 1.
 func (p *BLA) DecideTx(gen simtime.Time, windows int, storedJ float64) Decision {
 	if windows <= 0 {
@@ -245,7 +295,7 @@ func (p *BLA) DecideTx(gen simtime.Time, windows int, storedJ float64) Decision 
 
 	d, err := p.selector.Select(core.Inputs{
 		StoredEnergy:          max(0, storedJ),
-		NormalizedDegradation: p.wu,
+		NormalizedDegradation: p.effectiveWu(gen),
 		ForecastGen:           forecast,
 		EstTxEnergy:           p.estTx,
 		// E_tx_max of Eq. (15) is the worst-case energy budget of a
@@ -275,6 +325,19 @@ func (p *BLA) OnOutcome(o Outcome) {
 }
 
 // OnDegradationUpdate implements Protocol.
-func (p *BLA) OnDegradationUpdate(wu float64) {
+func (p *BLA) OnDegradationUpdate(now simtime.Time, wu float64) {
 	p.wu = min(1, max(0, wu))
+	p.wuAt = now
+	p.wuFresh = true
+}
+
+// Reset implements Protocol: a brownout wipes the cached w_u and the
+// learned estimators (Eq. 13 EWMA, Eq. 14 history). The stale-decision
+// counter survives — it is accounting, not protocol state.
+func (p *BLA) Reset() {
+	p.wu = 0
+	p.wuAt = 0
+	p.wuFresh = false
+	p.estimator.Reset()
+	p.history.Reset()
 }

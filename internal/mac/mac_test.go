@@ -50,7 +50,7 @@ func TestALOHA(t *testing.T) {
 	}
 	// Learning hooks are no-ops but must not panic.
 	p.OnOutcome(Outcome{Window: 0, Attempts: 3, EnergyJ: 0.1, Delivered: true})
-	p.OnDegradationUpdate(0.7)
+	p.OnDegradationUpdate(0, 0.7)
 }
 
 func TestThetaOnly(t *testing.T) {
@@ -149,7 +149,7 @@ func TestBLADegradedDefersToGreenWindow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p.OnDegradationUpdate(1)
+	p.OnDegradationUpdate(0, 1)
 	d := p.DecideTx(0, 10, 1.0)
 	if d.Drop {
 		t.Fatal("should not drop")
@@ -200,7 +200,7 @@ func TestBLARetxHistorySteersAway(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p.OnDegradationUpdate(1)
+	p.OnDegradationUpdate(0, 1)
 
 	// Teach the protocol that window 0 is crowded: 7 retransmissions per
 	// packet, while other windows stay clean.
@@ -227,7 +227,7 @@ func TestBLARetxHistoryAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p.OnDegradationUpdate(1)
+	p.OnDegradationUpdate(0, 1)
 	for i := 0; i < 20; i++ {
 		p.OnOutcome(Outcome{Window: 0, Attempts: 8, EnergyJ: 8 * 0.03, Delivered: true})
 	}
@@ -265,11 +265,11 @@ func TestBLADegradationUpdateClamped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p.OnDegradationUpdate(7)
+	p.OnDegradationUpdate(0, 7)
 	if got := p.NormalizedDegradation(); got != 1 {
 		t.Errorf("w_u = %v, want clamped to 1", got)
 	}
-	p.OnDegradationUpdate(-3)
+	p.OnDegradationUpdate(0, -3)
 	if got := p.NormalizedDegradation(); got != 0 {
 		t.Errorf("w_u = %v, want clamped to 0", got)
 	}

@@ -27,6 +27,12 @@ type NodeStats struct {
 	// NeverSent counts packets dropped by Algorithm 1 before any
 	// transmission attempt (FAIL decisions).
 	NeverSent int64
+	// Brownouts counts node restarts that wiped volatile MAC state
+	// (fault injection; zero on a perfect control plane).
+	Brownouts int64
+	// StaleWuDecisions counts transmit decisions that fell back to the
+	// conservative w_u because no beacon arrived within the TTL.
+	StaleWuDecisions int64
 	// WindowHist counts, per forecast-window index, how many packets
 	// were transmitted there (Fig. 4).
 	WindowHist *Histogram

@@ -5,6 +5,11 @@
 // tracker, and derives the normalized degradation w_u = D_u / D_max that
 // is disseminated back to nodes on ACKs (at most once per day, quantized
 // to one byte).
+//
+// Ingestion is idempotent and order-tolerant: retransmitted packets
+// (a retry after a lost ACK, or backhaul duplication) and reordered
+// deliveries are dropped by per-node watermarks instead of corrupting
+// the reconstructed trace with phantom rainflow cycles.
 package netserver
 
 import (
@@ -15,6 +20,10 @@ import (
 	"repro/internal/simtime"
 )
 
+// noneYet marks "no packet/report seen yet" in the per-node watermarks;
+// simulation time starts at 0, so any real instant exceeds it.
+const noneYet = simtime.Time(-1)
+
 // Server is the network-server state. It is not safe for concurrent use;
 // the simulator serializes access, and the testbed runtime guards it
 // with its gateway goroutine.
@@ -23,15 +32,28 @@ type Server struct {
 	tempC    float64
 	interval simtime.Duration
 
-	nodes       map[int]*nodeState
-	lastCompute simtime.Time
-	computed    bool
+	nodes map[int]*nodeState
+
+	// Recomputes align to a fixed grid anchored at the first compute,
+	// so a late call (e.g. after a gateway outage) does not permanently
+	// shift every subsequent daily recompute.
+	firstCompute simtime.Time
+	nextDue      simtime.Time
+	computed     bool
 }
 
 type nodeState struct {
 	tracker *battery.Tracker
 	degr    float64 // latest computed capacity fade
 	wu      byte    // latest normalized degradation, quantized to 1 byte
+
+	// lastPacketAt is the reception time of the newest ingested packet;
+	// packets at or before it are duplicates or reordered stragglers.
+	lastPacketAt simtime.Time
+	// lastReportAt is the newest decoded transition time across all
+	// previously ingested packets; reports at or before it were already
+	// pushed (or superseded) and are dropped.
+	lastReportAt simtime.Time
 }
 
 // New returns a server using the given degradation model, battery
@@ -54,9 +76,28 @@ func New(model battery.Model, tempC float64, interval simtime.Duration) (*Server
 // Register adds a node with its initial state of charge. Registering an
 // existing node resets its history.
 func (s *Server) Register(nodeID int, initialSoC float64) {
-	st := &nodeState{tracker: battery.NewTracker(s.model, s.tempC)}
+	st := &nodeState{
+		tracker:      battery.NewTracker(s.model, s.tempC),
+		lastPacketAt: noneYet,
+		lastReportAt: noneYet,
+	}
 	st.tracker.Push(initialSoC)
 	s.nodes[nodeID] = st
+}
+
+// Rejoin re-admits a node after a restart (e.g. a brownout) with its
+// current state of charge. Unlike Register it preserves the accumulated
+// degradation history — the battery did not reset, only the node's
+// volatile state did — and keeps the ingestion watermarks so reports
+// retransmitted from before the restart remain deduplicated. Unknown
+// nodes fall back to a fresh registration.
+func (s *Server) Rejoin(nodeID int, currentSoC float64) {
+	st, ok := s.nodes[nodeID]
+	if !ok {
+		s.Register(nodeID, currentSoC)
+		return
+	}
+	st.tracker.Push(currentSoC)
 }
 
 // NumNodes returns how many nodes are registered.
@@ -67,21 +108,46 @@ func (s *Server) NumNodes() int { return len(s.nodes) }
 // window the node's forecast-window length (needed to decode the
 // relative timestamps). Unknown nodes are ignored: a production server
 // would trigger a join procedure, which is out of scope here.
+//
+// Duplicate and stale data is dropped at two levels. Whole packets at
+// or before the newest ingested packet time are discarded (exact
+// backhaul duplicates, reordered deliveries). Within a newer packet,
+// reports whose decoded transition time is at or before the newest
+// report of any previous packet are discarded (a retry re-piggybacking
+// unACKed reports alongside fresh ones). The report watermark is held
+// fixed while one packet is processed, so several same-window
+// transitions inside a single packet all pass.
 func (s *Server) Ingest(nodeID int, reports []battery.Report, packetAt simtime.Time, window simtime.Duration) {
 	st, ok := s.nodes[nodeID]
 	if !ok {
 		return
 	}
-	for _, r := range reports {
-		st.tracker.Push(r.Decode(packetAt, window).SoC)
+	if packetAt <= st.lastPacketAt {
+		return
 	}
+	st.lastPacketAt = packetAt
+	newest := st.lastReportAt
+	for _, r := range reports {
+		tr := r.Decode(packetAt, window)
+		if tr.At <= st.lastReportAt {
+			continue
+		}
+		st.tracker.Push(tr.SoC)
+		if tr.At > newest {
+			newest = tr.At
+		}
+	}
+	st.lastReportAt = newest
 }
 
 // RecomputeIfDue recomputes every node's degradation and the network's
 // normalized weights if the dissemination interval elapsed; it reports
-// whether a recomputation ran. The first call always computes.
+// whether a recomputation ran. The first call always computes and
+// anchors the recompute grid; later calls fire only when the current
+// grid slot is due, and the next deadline stays on the grid even when a
+// call arrives late (e.g. delayed by a gateway outage).
 func (s *Server) RecomputeIfDue(now simtime.Time) bool {
-	if s.computed && now.Sub(s.lastCompute) < s.interval {
+	if s.computed && now < s.nextDue {
 		return false
 	}
 	s.recompute(now)
@@ -89,8 +155,13 @@ func (s *Server) RecomputeIfDue(now simtime.Time) bool {
 }
 
 func (s *Server) recompute(now simtime.Time) {
-	s.lastCompute = now
-	s.computed = true
+	if !s.computed {
+		s.firstCompute = now
+		s.computed = true
+	}
+	elapsed := now.Sub(s.firstCompute)
+	slots := int64(elapsed/s.interval) + 1
+	s.nextDue = s.firstCompute.Add(simtime.Duration(slots) * s.interval)
 	var dmax float64
 	for _, st := range s.nodes {
 		st.degr = st.tracker.Degradation(simtime.Duration(now))
@@ -101,9 +172,19 @@ func (s *Server) recompute(now simtime.Time) {
 		if dmax > 0 {
 			wu = st.degr / dmax
 		}
-		st.wu = byte(math.Round(wu * 255))
+		st.wu = QuantizeWu(wu)
 	}
 }
+
+// QuantizeWu quantizes a normalized degradation in [0,1] to the 1-byte
+// wire form carried on ACKs.
+func QuantizeWu(wu float64) byte {
+	return byte(math.Round(min(1, max(0, wu)) * 255))
+}
+
+// DequantizeWu recovers the normalized degradation from its 1-byte wire
+// form, exactly as a node interprets the ACK payload.
+func DequantizeWu(b byte) float64 { return float64(b) / 255 }
 
 // NormalizedDegradation returns the node's latest w_u as the node will
 // receive it: quantized to 1/255 steps (the 1-byte ACK piggyback).
@@ -112,7 +193,7 @@ func (s *Server) NormalizedDegradation(nodeID int) float64 {
 	if !ok {
 		return 0
 	}
-	return float64(st.wu) / 255
+	return DequantizeWu(st.wu)
 }
 
 // Degradation returns the node's latest computed capacity fade.
@@ -126,11 +207,16 @@ func (s *Server) Degradation(nodeID int) float64 {
 
 // MaxDegradation returns the highest computed capacity fade in the
 // network and the node holding it (-1 when no nodes are registered).
+// Ties break toward the lowest node ID, keeping the reported worst node
+// independent of map iteration order.
 func (s *Server) MaxDegradation() (nodeID int, degradation float64) {
 	nodeID = -1
 	for id, st := range s.nodes {
-		if st.degr > degradation || nodeID == -1 {
+		switch {
+		case nodeID == -1, st.degr > degradation:
 			nodeID, degradation = id, st.degr
+		case st.degr == degradation && id < nodeID:
+			nodeID = id
 		}
 	}
 	return nodeID, degradation

@@ -71,6 +71,224 @@ func TestRecomputeIfDueCadence(t *testing.T) {
 	}
 }
 
+// TestRecomputeGridAlignment: a late recompute (e.g. delayed by a
+// gateway outage) must not shift the schedule — the next deadline stays
+// on the interval grid anchored at the first compute.
+func TestRecomputeGridAlignment(t *testing.T) {
+	s := newTestServer(t)
+	s.Register(1, 0.9)
+
+	at := func(h int) simtime.Time { return simtime.Time(h) * simtime.Time(simtime.Hour) }
+	if !s.RecomputeIfDue(at(0)) {
+		t.Fatal("first call must compute")
+	}
+	// Slot [24h,48h) arrives 2 hours late.
+	if !s.RecomputeIfDue(at(26)) {
+		t.Fatal("26h: overdue slot must compute")
+	}
+	// The next deadline is the 48h grid slot, not 26h+24h = 50h.
+	if s.RecomputeIfDue(at(47)) {
+		t.Error("47h: inside the current grid slot, must not compute")
+	}
+	if !s.RecomputeIfDue(at(49)) {
+		t.Error("49h: the 48h grid slot is due even though the previous compute ran at 26h")
+	}
+	// A very late call (multiple slots missed) lands back on the grid.
+	if !s.RecomputeIfDue(at(200)) {
+		t.Fatal("200h: overdue")
+	}
+	if s.RecomputeIfDue(at(215)) {
+		t.Error("215h: grid slot [192h,216h) already computed at 200h")
+	}
+	if !s.RecomputeIfDue(at(216)) {
+		t.Error("216h: next grid slot due")
+	}
+}
+
+// TestMaxDegradationTieBreak: equal degradations must report the lowest
+// node ID, not whichever the map iteration order visits last.
+func TestMaxDegradationTieBreak(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		s := newTestServer(t)
+		// Same initial SoC, no reports: identical calendar aging.
+		s.Register(7, 0.8)
+		s.Register(3, 0.8)
+		s.Register(9, 0.8)
+		s.RecomputeIfDue(simtime.Time(simtime.Year))
+		if s.Degradation(7) != s.Degradation(3) || s.Degradation(3) != s.Degradation(9) {
+			t.Fatal("test premise broken: degradations differ")
+		}
+		id, d := s.MaxDegradation()
+		if id != 3 {
+			t.Fatalf("trial %d: MaxDegradation tie broke to node %d (degr %v), want lowest ID 3", trial, id, d)
+		}
+	}
+}
+
+// TestIngestIdempotent: a packet retried after a lost ACK (same reports
+// re-encoded at a later transmission time) and an exact backhaul
+// duplicate must both leave the reconstructed trace as if the packet
+// arrived exactly once.
+func TestIngestIdempotent(t *testing.T) {
+	window := simtime.Minute
+	tr1 := battery.Transition{At: simtime.Time(10 * simtime.Minute), SoC: 0.3}
+	tr2 := battery.Transition{At: simtime.Time(40 * simtime.Minute), SoC: 0.9}
+	t1 := simtime.Time(simtime.Hour)
+	t2 := t1.Add(5 * simtime.Minute)
+	encode := func(at simtime.Time) []battery.Report {
+		return []battery.Report{
+			battery.EncodeTransition(tr1, at, window),
+			battery.EncodeTransition(tr2, at, window),
+		}
+	}
+
+	once := newTestServer(t)
+	once.Register(1, 0.9)
+	once.Ingest(1, encode(t1), t1, window)
+
+	dup := newTestServer(t)
+	dup.Register(1, 0.9)
+	dup.Ingest(1, encode(t1), t1, window)
+	dup.Ingest(1, encode(t1), t1, window) // exact backhaul duplicate
+	dup.Ingest(1, encode(t2), t2, window) // retry after lost ACK
+
+	now := simtime.Time(simtime.Day)
+	once.RecomputeIfDue(now)
+	dup.RecomputeIfDue(now)
+	if got, want := dup.Degradation(1), once.Degradation(1); got != want {
+		t.Errorf("duplicated ingestion degradation %v, want %v (single ingestion)", got, want)
+	}
+}
+
+// TestIngestDropsReordered: a packet older than the newest ingested one
+// is a straggler and must be dropped entirely.
+func TestIngestDropsReordered(t *testing.T) {
+	window := simtime.Minute
+	old := battery.Transition{At: simtime.Time(5 * simtime.Minute), SoC: 0.1}
+	t1 := simtime.Time(30 * simtime.Minute)
+	t2 := simtime.Time(simtime.Hour)
+
+	s := newTestServer(t)
+	s.Register(1, 0.9)
+	s.Ingest(1, nil, t2, window) // newer (empty) packet arrives first
+	s.Ingest(1, []battery.Report{battery.EncodeTransition(old, t1, window)}, t1, window)
+
+	ref := newTestServer(t)
+	ref.Register(1, 0.9)
+	ref.Ingest(1, nil, t2, window)
+
+	now := simtime.Time(simtime.Day)
+	s.RecomputeIfDue(now)
+	ref.RecomputeIfDue(now)
+	if got, want := s.Degradation(1), ref.Degradation(1); got != want {
+		t.Errorf("reordered packet was ingested: degradation %v, want %v", got, want)
+	}
+}
+
+// TestIngestRetryWithFreshReports: a retry that re-piggybacks unACKed
+// reports alongside new transitions must contribute only the new ones.
+func TestIngestRetryWithFreshReports(t *testing.T) {
+	window := simtime.Minute
+	trOld := battery.Transition{At: simtime.Time(10 * simtime.Minute), SoC: 0.3}
+	trNew := battery.Transition{At: simtime.Time(70 * simtime.Minute), SoC: 0.8}
+	t1 := simtime.Time(simtime.Hour)
+	t2 := simtime.Time(2 * simtime.Hour)
+
+	s := newTestServer(t)
+	s.Register(1, 0.9)
+	s.Ingest(1, []battery.Report{battery.EncodeTransition(trOld, t1, window)}, t1, window)
+	s.Ingest(1, []battery.Report{
+		battery.EncodeTransition(trOld, t2, window), // still unACKed, re-sent
+		battery.EncodeTransition(trNew, t2, window),
+	}, t2, window)
+
+	ref := newTestServer(t)
+	ref.Register(1, 0.9)
+	ref.Ingest(1, []battery.Report{battery.EncodeTransition(trOld, t1, window)}, t1, window)
+	ref.Ingest(1, []battery.Report{battery.EncodeTransition(trNew, t2, window)}, t2, window)
+
+	now := simtime.Time(simtime.Day)
+	s.RecomputeIfDue(now)
+	ref.RecomputeIfDue(now)
+	if got, want := s.Degradation(1), ref.Degradation(1); got != want {
+		t.Errorf("re-piggybacked report was double-counted: degradation %v, want %v", got, want)
+	}
+}
+
+// TestRejoinPreservesHistory: a brownout rejoin keeps the accumulated
+// degradation (the battery did not reset), unlike a fresh Register.
+func TestRejoinPreservesHistory(t *testing.T) {
+	window := simtime.Minute
+	build := func() *Server {
+		s := newTestServer(t)
+		s.Register(1, 0.9)
+		for day := 0; day < 50; day++ {
+			at := simtime.Time(day) * simtime.Time(simtime.Day)
+			s.Ingest(1, []battery.Report{
+				battery.EncodeTransition(battery.Transition{At: at, SoC: 0.3}, at.Add(simtime.Hour), window),
+				battery.EncodeTransition(battery.Transition{At: at.Add(30 * simtime.Minute), SoC: 0.9}, at.Add(simtime.Hour), window),
+			}, at.Add(simtime.Hour), window)
+		}
+		return s
+	}
+	now := simtime.Time(60 * simtime.Day)
+
+	rejoined := build()
+	rejoined.Rejoin(1, 0.7)
+	rejoined.RecomputeIfDue(now)
+
+	reset := build()
+	reset.Register(1, 0.7)
+	reset.RecomputeIfDue(now)
+
+	if rejoined.Degradation(1) <= reset.Degradation(1) {
+		t.Errorf("rejoin lost cycle history: degradation %v not above reset %v",
+			rejoined.Degradation(1), reset.Degradation(1))
+	}
+
+	// Rejoin of an unknown node degrades to a fresh registration.
+	s := newTestServer(t)
+	s.Rejoin(42, 0.5)
+	if s.NumNodes() != 1 {
+		t.Error("rejoin of unknown node did not register it")
+	}
+}
+
+// TestWuQuantizationGolden: the 1-byte w_u wire form at its boundary
+// values, matching the ACK payload budget of the paper.
+func TestWuQuantizationGolden(t *testing.T) {
+	cases := []struct {
+		wu float64
+		b  byte
+	}{
+		{0, 0},
+		{1.0 / 255, 1},
+		{254.0 / 255, 254},
+		{255.0 / 255, 255},
+		{-0.5, 0}, // clamped
+		{1.5, 255},
+	}
+	for _, tc := range cases {
+		if got := QuantizeWu(tc.wu); got != tc.b {
+			t.Errorf("QuantizeWu(%v) = %d, want %d", tc.wu, got, tc.b)
+		}
+	}
+	for _, b := range []byte{0, 1, 255} {
+		if got := QuantizeWu(DequantizeWu(b)); got != b {
+			t.Errorf("quantize(dequantize(%d)) = %d, want exact round-trip", b, got)
+		}
+	}
+	if got := DequantizeWu(0); got != 0 {
+		t.Errorf("DequantizeWu(0) = %v, want 0", got)
+	}
+	if got := DequantizeWu(255); got != 1 {
+		t.Errorf("DequantizeWu(255) = %v, want 1", got)
+	}
+	if got := DequantizeWu(1); got != 1.0/255 {
+		t.Errorf("DequantizeWu(1) = %v, want 1/255", got)
+	}
+}
+
 // TestNormalizedDegradationOrdering: an always-full battery must end up
 // with w_u = 1 (the most degraded) and the low-SoC battery below it.
 func TestNormalizedDegradationOrdering(t *testing.T) {

@@ -12,6 +12,7 @@ const (
 	evAckDone               // receive window closes with the ACK decoded
 	evDaily                 // gateway degradation recomputation tick
 	evMonthly               // monthly degradation sampling tick
+	evBrownout              // fault injection: node restart losing volatile state
 )
 
 // simEvent is one pooled simulation event. Packet-bearing events also
@@ -56,6 +57,8 @@ func (e *simEvent) Fire() {
 		s.dailyTick()
 	case evMonthly:
 		s.monthlyTick()
+	case evBrownout:
+		s.brownout(n)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/battery"
 	"repro/internal/config"
 	"repro/internal/energy"
+	"repro/internal/faults"
 	"repro/internal/lora"
 	"repro/internal/mac"
 	"repro/internal/metrics"
@@ -30,6 +31,9 @@ const (
 	// maxReportsPerPacket bounds the SoC transition reports piggy-backed
 	// on one uplink.
 	maxReportsPerPacket = 8
+	// joinPayloadBytes is the LoRaWAN join-request size charged for the
+	// rejoin exchange after a brownout.
+	joinPayloadBytes = 23
 )
 
 // Hooks let experiments observe protocol internals without touching the
@@ -79,7 +83,8 @@ type Simulation struct {
 	nodes  []*Node
 	util   utility.Function
 	gwPos  []radio.Position
-	phy    *lora.Table // memoized airtime/TX-energy per (SF, payload)
+	phy    *lora.Table  // memoized airtime/TX-energy per (SF, payload)
+	plan   *faults.Plan // nil unless the scenario injects faults
 
 	monthly      []float64
 	lifespanDays float64
@@ -122,6 +127,11 @@ func New(cfg config.Scenario, hooks Hooks) (*Simulation, error) {
 		util:   utility.Linear{},
 		gwPos:  radio.GatewayLayout(cfg.Gateways, cfg.MaxDistanceM),
 		phy:    phy,
+	}
+	if cfg.Faults.Active() {
+		if s.plan, err = faults.NewPlan(cfg.Faults, cfg.Seed, cfg.Nodes); err != nil {
+			return nil, err
+		}
 	}
 	for id := 0; id < cfg.Nodes; id++ {
 		n, err := s.buildNode(id, trace)
@@ -246,6 +256,8 @@ func (s *Simulation) buildNode(id int, trace *energy.YearTrace) (*Node, error) {
 			SingleTxEnergyJ:    txE,
 			MaxAttempts:        cfg.MaxAttempts,
 			DisableRetxHistory: cfg.DisableRetxHistory,
+			WuTTL:              cfg.Faults.WuTTL,
+			WuStaleFallback:    cfg.Faults.WuStaleFallback,
 		}); err != nil {
 			return nil, err
 		}
@@ -292,6 +304,9 @@ func (s *Simulation) Run() (*Result, error) {
 		}
 		first := simtime.Time(n.rng.Int64N(int64(spread)))
 		s.schedule(first, evGenerate, n, nil, nil, 0, 0)
+		if at, ok := s.plan.NextBrownout(n.ID, 0); ok {
+			s.schedule(at, evBrownout, n, nil, nil, 0, 0)
+		}
 	}
 	s.schedule(0, evDaily, nil, nil, nil, 0, 0)
 	s.schedule(simtime.Time(30*simtime.Day), evMonthly, nil, nil, nil, 0, 0)
@@ -307,6 +322,9 @@ func (s *Simulation) Run() (*Result, error) {
 	}
 	for _, n := range s.nodes {
 		n.integrate(now)
+		if bla, ok := n.Proto.(*mac.BLA); ok {
+			n.Stats.StaleWuDecisions = bla.StaleDecisions()
+		}
 		res.Nodes = append(res.Nodes, NodeResult{
 			ID:          n.ID,
 			DistanceM:   n.DistanceM,
@@ -325,7 +343,11 @@ func (s *Simulation) Run() (*Result, error) {
 // EoL stop condition.
 func (s *Simulation) dailyTick() {
 	now := s.eng.Now()
-	s.server.RecomputeIfDue(now)
+	// An offline gateway misses its recompute slot; the grid-aligned
+	// schedule catches up on the first tick after the outage ends.
+	if !s.plan.GatewayDown(now) {
+		s.server.RecomputeIfDue(now)
+	}
 	if s.cfg.RunToEoL && s.maxGroundTruthDeg(now) >= s.cfg.BatteryModel.EoLThreshold {
 		s.lifespanDays = now.Days()
 		s.eng.Stop()
@@ -467,21 +489,65 @@ func (s *Simulation) txEnd(n *Node, pkt *packet, gen uint64, tx *Transmission) {
 	pkt.radioEnergyJ += n.rxEnergyJ
 
 	gws := s.med.EndUplink(tx)
-	if len(gws) > 0 {
-		s.server.Ingest(n.ID, n.encodeReports(now, s.cfg.ForecastWindow), now, s.cfg.ForecastWindow)
-		rx1 := now.Add(rx1Delay)
-		ackEnd := rx1.Add(n.ackAirtime)
-		for _, gw := range gws {
-			if s.med.ReserveDownlink(gw, rx1, ackEnd) {
-				s.schedule(rx1, evDownlink, nil, nil, nil, gw, ackEnd)
-				s.schedule(ackEnd, evAckDone, n, pkt, nil, 0, 0)
-				return
-			}
+	if len(gws) > 0 && !s.plan.GatewayDown(now) && !s.plan.DropUplink(n.ID) {
+		reports := n.encodeReports(now, s.cfg.ForecastWindow)
+		s.server.Ingest(n.ID, reports, now, s.cfg.ForecastWindow)
+		if s.plan.DuplicateUplink(n.ID) {
+			// Backhaul duplication: the server sees the same packet twice;
+			// idempotent ingestion makes the second delivery a no-op.
+			s.server.Ingest(n.ID, reports, now, s.cfg.ForecastWindow)
 		}
-		// Every decoding gateway's radio is busy: the data arrived but the
-		// node will never know — it behaves exactly like a collision.
+		if !s.plan.DropDownlink(n.ID) {
+			rx1 := now.Add(rx1Delay)
+			ackEnd := rx1.Add(n.ackAirtime)
+			for _, gw := range gws {
+				if s.med.ReserveDownlink(gw, rx1, ackEnd) {
+					s.schedule(rx1, evDownlink, nil, nil, nil, gw, ackEnd)
+					s.schedule(ackEnd, evAckDone, n, pkt, nil, 0, 0)
+					return
+				}
+			}
+			// Every decoding gateway's radio is busy: the data arrived but
+			// the node will never know — it behaves exactly like a
+			// collision.
+		}
+		// A dropped downlink looks the same from the node: no ACK, so it
+		// retries with the reports still piggy-backed (and the server's
+		// duplicate guard drops the re-ingested copies).
 	}
 	s.retryOrFail(n, pkt, now)
+}
+
+// brownout restarts a node: any in-flight packet dies, the protocol's
+// volatile state (w_u, learned estimators) and the unreported transition
+// backlog are lost, and the node re-registers with the gateway, which
+// keeps its accumulated degradation history. The energy cost of the
+// rejoin exchange is charged to the battery.
+func (s *Simulation) brownout(n *Node) {
+	now := s.eng.Now()
+	n.integrate(now)
+
+	if n.pkt != nil && !n.pkt.finished {
+		s.finish(n, n.pkt, false, now)
+	}
+	n.Proto.Reset()
+	n.pendingTrans = n.pendingTrans[:0]
+	n.Batt.DrainTransitions() // transitions recorded but never reported are gone
+	n.Stats.Brownouts++
+
+	// Rejoin exchange: one uplink at the node's base settings plus the
+	// receive windows for the join accept.
+	joinE := s.phy.TxEnergy(n.Params.SF, joinPayloadBytes) + n.rxEnergyJ
+	n.draw(joinE)
+	n.Stats.TxEnergyJ += joinE
+	s.server.Rejoin(n.ID, n.Batt.SoC())
+
+	// The sampling timer restarts with the generation cycle already
+	// scheduled; modelling a reboot-time phase shift would desynchronize
+	// the pooled generate events for marginal realism.
+	if at, ok := s.plan.NextBrownout(n.ID, now); ok {
+		s.schedule(at, evBrownout, n, nil, nil, 0, 0)
+	}
 }
 
 func (s *Simulation) retryOrFail(n *Node, pkt *packet, now simtime.Time) {
@@ -506,7 +572,7 @@ func (s *Simulation) ackDelivered(n *Node, pkt *packet, gen uint64) {
 	}
 	now := s.eng.Now()
 	n.integrate(now)
-	n.Proto.OnDegradationUpdate(s.server.NormalizedDegradation(n.ID))
+	n.Proto.OnDegradationUpdate(now, s.server.NormalizedDegradation(n.ID))
 	n.pendingTrans = n.pendingTrans[:0] // reports delivered
 	s.finish(n, pkt, true, now)
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/battery"
+	"repro/internal/faults"
 	"repro/internal/netserver"
 	"repro/internal/sim"
 	"repro/internal/simtime"
@@ -17,11 +18,25 @@ type Gateway struct {
 	mu     sync.Mutex
 	med    *sim.Medium
 	server *netserver.Server
+	plan   *faults.Plan // nil: perfect control plane
 }
 
 // NewGateway wires the radio medium to the network server.
 func NewGateway(med *sim.Medium, server *netserver.Server) *Gateway {
 	return &Gateway{med: med, server: server}
+}
+
+// SetFaultPlan installs control-plane fault injection. Call before the
+// node goroutines start; per-node fault streams keep draws deterministic
+// per node regardless of goroutine interleaving.
+func (g *Gateway) SetFaultPlan(plan *faults.Plan) { g.plan = plan }
+
+// Rejoin re-admits a restarted node, preserving its server-side
+// degradation history.
+func (g *Gateway) Rejoin(nodeID int, soc float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.server.Rejoin(nodeID, soc)
 }
 
 // NewTransmission hands out a pooled transmission from the medium's
@@ -52,7 +67,18 @@ func (g *Gateway) EndUplink(tx *sim.Transmission, nodeID int, reports []battery.
 	if len(gws) == 0 {
 		return false, false, 0
 	}
+	if g.plan.GatewayDown(now) || g.plan.DropUplink(nodeID) {
+		// PHY decoded but the packet never reached the network server:
+		// from the node's side this is indistinguishable from a collision.
+		return false, false, 0
+	}
 	g.server.Ingest(nodeID, reports, now, window)
+	if g.plan.DuplicateUplink(nodeID) {
+		g.server.Ingest(nodeID, reports, now, window) // idempotent no-op
+	}
+	if g.plan.DropDownlink(nodeID) {
+		return true, false, 0
+	}
 	rx1 := now.Add(rx1Delay)
 	ackEnd = rx1.Add(ackAirtime)
 	for _, gw := range gws {
@@ -80,9 +106,13 @@ func (g *Gateway) AckPayload(nodeID int) float64 {
 	return g.server.NormalizedDegradation(nodeID)
 }
 
-// Recompute runs the daily degradation recomputation.
+// Recompute runs the daily degradation recomputation; an outage window
+// skips the slot and the grid-aligned schedule catches up afterwards.
 func (g *Gateway) Recompute(now simtime.Time) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if g.plan.GatewayDown(now) {
+		return
+	}
 	g.server.RecomputeIfDue(now)
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/battery"
 	"repro/internal/config"
 	"repro/internal/energy"
+	"repro/internal/faults"
 	"repro/internal/lora"
 	"repro/internal/mac"
 	"repro/internal/metrics"
@@ -22,6 +23,9 @@ import (
 const (
 	rx1Delay      = simtime.Second
 	rxWindowsSpan = 3 * simtime.Second
+	// joinPayloadBytes is the LoRaWAN join-request size charged for the
+	// rejoin exchange after a brownout, matching the simulator.
+	joinPayloadBytes = 23
 )
 
 // NodeResult is one emulated node's outcome.
@@ -54,7 +58,8 @@ type node struct {
 	rng     *rand.Rand
 	stats   *metrics.NodeStats
 
-	phy *lora.Table // shared immutable airtime/energy table, goroutine-safe
+	phy  *lora.Table  // shared immutable airtime/energy table, goroutine-safe
+	plan *faults.Plan // shared; only this node's streams are consulted
 
 	sleepW       float64
 	rxEnergyJ    float64
@@ -103,6 +108,14 @@ func Run(cfg config.Scenario) (*Result, error) {
 		return nil, err
 	}
 
+	var plan *faults.Plan
+	if cfg.Faults.Active() {
+		if plan, err = faults.NewPlan(cfg.Faults, cfg.Seed, cfg.Nodes); err != nil {
+			return nil, err
+		}
+		gw.SetFaultPlan(plan)
+	}
+
 	nodes := make([]*node, cfg.Nodes)
 	for id := range nodes {
 		n, err := buildNode(cfg, id, trace)
@@ -110,6 +123,7 @@ func Run(cfg config.Scenario) (*Result, error) {
 			return nil, fmt.Errorf("testbed: node %d: %w", id, err)
 		}
 		n.phy = phy
+		n.plan = plan
 		nodes[id] = n
 		server.Register(id, cfg.InitialSoC)
 	}
@@ -146,6 +160,9 @@ func Run(cfg config.Scenario) (*Result, error) {
 	res := &Result{Label: cfg.ProtocolLabel(), Elapsed: simtime.Duration(clock.Now())}
 	for _, n := range nodes {
 		n.integrate(end)
+		if bla, ok := n.proto.(*mac.BLA); ok {
+			n.stats.StaleWuDecisions = bla.StaleDecisions()
+		}
 		res.Nodes = append(res.Nodes, NodeResult{
 			ID:          n.id,
 			SF:          n.params.SF,
@@ -237,6 +254,8 @@ func buildNode(cfg config.Scenario, id int, trace *energy.YearTrace) (*node, err
 			SingleTxEnergyJ:    txE,
 			MaxAttempts:        cfg.MaxAttempts,
 			DisableRetxHistory: cfg.DisableRetxHistory,
+			WuTTL:              cfg.Faults.WuTTL,
+			WuStaleFallback:    cfg.Faults.WuStaleFallback,
 		}); err != nil {
 			return nil, err
 		}
@@ -273,10 +292,17 @@ func (n *node) run(cfg config.Scenario, clock *Clock, gw *Gateway, end simtime.T
 	}
 	clock.Sleep(simtime.Duration(n.rng.Int64N(int64(spread))) + simtime.Millisecond)
 
+	nextBO, boPending := n.plan.NextBrownout(n.id, 0)
 	for {
 		genAt := clock.Now()
 		if genAt >= end {
 			return
+		}
+		// Brownouts are applied at sampling-cycle granularity: a restart
+		// mid-cycle would anyway first be observable at the next decision.
+		if boPending && genAt >= nextBO {
+			n.brownout(genAt, gw)
+			nextBO, boPending = n.plan.NextBrownout(n.id, genAt)
 		}
 		n.integrate(genAt)
 		n.stats.Generated++
@@ -365,7 +391,7 @@ func (n *node) transmitPacket(cfg config.Scenario, clock *Clock, gw *Gateway,
 			clock.SleepUntil(txEnd.Add(rx1Delay))
 			gw.StartAck(ackEnd)
 			clock.SleepUntil(ackEnd)
-			n.proto.OnDegradationUpdate(gw.AckPayload(n.id))
+			n.proto.OnDegradationUpdate(ackEnd, gw.AckPayload(n.id))
 			n.pendingTrans = n.pendingTrans[:0]
 			delivered = true
 			break
@@ -394,6 +420,22 @@ func (n *node) transmitPacket(cfg config.Scenario, clock *Clock, gw *Gateway,
 			Delivered: delivered,
 		})
 	}
+}
+
+// brownout restarts the node, mirroring the simulator: volatile MAC
+// state and the unreported transition backlog are lost, the rejoin
+// exchange is charged to the battery, and the gateway keeps the
+// accumulated degradation history.
+func (n *node) brownout(now simtime.Time, gw *Gateway) {
+	n.integrate(now)
+	n.proto.Reset()
+	n.pendingTrans = n.pendingTrans[:0]
+	n.batt.DrainTransitions()
+	n.stats.Brownouts++
+	joinE := n.phy.TxEnergy(n.params.SF, joinPayloadBytes) + n.rxEnergyJ
+	n.extraDrawJ += joinE
+	n.stats.TxEnergyJ += joinE
+	gw.Rejoin(n.id, n.batt.SoC())
 }
 
 // integrate mirrors the simulator's lazy energy accounting.
