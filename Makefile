@@ -35,7 +35,9 @@ vet:
 # record. GOMAXPROCS is pinned to NPROC so the sweep worker-scaling
 # pair sees every core; cmd/benchjson records each benchmark's CPU
 # count and diffs allocs/op and B/op against the newest prior
-# BENCH_*.json (BENCHJSONFLAGS="-failregress" gates CI on it).
+# BENCH_*.json (BENCHJSONFLAGS="-failregress" gates CI on it;
+# BENCHJSONFLAGS="-nsregress 0.25" also gates ns/op on same-machine
+# comparisons, where timing noise is bounded).
 bench: build
 	GOMAXPROCS=$(NPROC) $(GO) test -run '^$$' -bench '$(BENCHRE)' -benchmem -count $(COUNT) -benchtime $(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -out BENCH_$(DATE).json $(BENCHJSONFLAGS)

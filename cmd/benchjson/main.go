@@ -18,7 +18,9 @@
 // record (default: the newest other BENCH_*.json in the working
 // directory). Benchmarks whose allocs/op or bytes/op grew by more than
 // -maxregress are flagged on stderr and recorded in the "regressions"
-// array; -failregress turns them into a non-zero exit for CI.
+// array; -failregress turns them into a non-zero exit for CI. Timing is
+// not gated by default because ns/op is noisy across machines, but
+// same-machine comparisons can opt in with -nsregress (0 disables).
 package main
 
 import (
@@ -46,11 +48,11 @@ type Benchmark struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Regression is one alloc-footprint metric that grew past the threshold
-// relative to the baseline record.
+// Regression is one metric that grew past its threshold relative to the
+// baseline record.
 type Regression struct {
 	Benchmark string  `json:"benchmark"`
-	Metric    string  `json:"metric"` // "allocs/op" or "B/op"
+	Metric    string  `json:"metric"` // "allocs/op", "B/op", or "ns/op"
 	Baseline  float64 `json:"baseline"`
 	Current   float64 `json:"current"`
 	Ratio     float64 `json:"ratio"` // current / baseline
@@ -84,6 +86,8 @@ func main() {
 		"prior BENCH_*.json to diff against ('auto' = newest other record, 'none' = skip)")
 	maxregress := flag.Float64("maxregress", 0.10,
 		"allowed fractional growth in allocs/op and B/op before flagging a regression")
+	nsregress := flag.Float64("nsregress", 0,
+		"allowed fractional growth in ns/op before flagging a regression (0 = don't gate timing; only meaningful when the baseline ran on this machine)")
 	failregress := flag.Bool("failregress", false, "exit non-zero when regressions are found")
 	flag.Parse()
 
@@ -134,11 +138,15 @@ func main() {
 				fatal(fmt.Errorf("baseline %s: %w", basePath, err))
 			}
 			rec.Baseline = filepath.Base(basePath)
-			rec.Regressions = diffRecords(base, &rec, *maxregress)
+			rec.Regressions = diffRecords(base, &rec, *maxregress, *nsregress)
 			for _, r := range rec.Regressions {
+				limit := *maxregress
+				if r.Metric == "ns/op" {
+					limit = *nsregress
+				}
 				fmt.Fprintf(os.Stderr,
 					"benchjson: REGRESSION %s %s: %.0f -> %.0f (%.2fx, threshold %.2fx vs %s)\n",
-					r.Benchmark, r.Metric, r.Baseline, r.Current, r.Ratio, 1+*maxregress, rec.Baseline)
+					r.Benchmark, r.Metric, r.Baseline, r.Current, r.Ratio, 1+limit, rec.Baseline)
 			}
 		}
 	}
@@ -152,7 +160,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rec.Benchmarks), path)
 	if *failregress && len(rec.Regressions) > 0 {
-		fatal(fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", len(rec.Regressions), *maxregress*100))
+		fatal(fmt.Errorf("%d benchmark metric(s) regressed beyond their thresholds", len(rec.Regressions)))
 	}
 }
 
@@ -201,12 +209,17 @@ func parseLine(line string) (Benchmark, bool) {
 	return b, true
 }
 
-// diffRecords compares the allocation footprint of every benchmark
-// present in both records (matched by name and CPU count) and returns
-// the metrics that grew by more than maxregress. Timing is deliberately
-// not diffed: ns/op is too noisy across machines for a hard gate,
-// allocs/op and B/op are deterministic.
-func diffRecords(base, cur *Record, maxregress float64) []Regression {
+// diffRecords compares every benchmark present in both records (matched
+// by name and CPU count) and returns the metrics that grew past their
+// thresholds. allocs/op and B/op are deterministic and always gated by
+// maxregress; ns/op is too noisy across machines for an unconditional
+// gate, so it is only diffed when nsregress > 0 (same-machine runs).
+func diffRecords(base, cur *Record, maxregress, nsregress float64) []Regression {
+	type check struct {
+		metric   string
+		old, new float64
+		limit    float64
+	}
 	var regs []Regression
 	for i := range cur.Benchmarks {
 		b := &cur.Benchmarks[i]
@@ -214,14 +227,15 @@ func diffRecords(base, cur *Record, maxregress float64) []Regression {
 		if old == nil {
 			continue
 		}
-		for _, m := range []struct {
-			metric   string
-			old, new float64
-		}{
-			{"allocs/op", old.AllocsPerOp, b.AllocsPerOp},
-			{"B/op", old.BytesPerOp, b.BytesPerOp},
-		} {
-			if m.old <= 0 || m.new <= m.old*(1+maxregress) {
+		checks := []check{
+			{"allocs/op", old.AllocsPerOp, b.AllocsPerOp, maxregress},
+			{"B/op", old.BytesPerOp, b.BytesPerOp, maxregress},
+		}
+		if nsregress > 0 {
+			checks = append(checks, check{"ns/op", old.NsPerOp, b.NsPerOp, nsregress})
+		}
+		for _, m := range checks {
+			if m.old <= 0 || m.new <= m.old*(1+m.limit) {
 				continue
 			}
 			regs = append(regs, Regression{

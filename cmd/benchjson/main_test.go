@@ -69,7 +69,7 @@ func TestDiffRecordsFlagsGrowth(t *testing.T) {
 		// No baseline entry: ignored.
 		{Name: "Sweep1000Nodes", CPUs: 1, AllocsPerOp: 9e9},
 	}}
-	regs := diffRecords(base, cur, 0.10)
+	regs := diffRecords(base, cur, 0.10, 0)
 	if len(regs) != 1 {
 		t.Fatalf("regressions = %+v, want exactly the SimulatorDay allocs/op growth", regs)
 	}
@@ -82,7 +82,7 @@ func TestDiffRecordsFlagsGrowth(t *testing.T) {
 func TestDiffRecordsImprovementIsNotARegression(t *testing.T) {
 	base := &Record{Benchmarks: []Benchmark{{Name: "SimulatorDay", CPUs: 1, AllocsPerOp: 57759, BytesPerOp: 5315392}}}
 	cur := &Record{Benchmarks: []Benchmark{{Name: "SimulatorDay", CPUs: 1, AllocsPerOp: 9944, BytesPerOp: 3936432}}}
-	if regs := diffRecords(base, cur, 0.10); len(regs) != 0 {
+	if regs := diffRecords(base, cur, 0.10, 0); len(regs) != 0 {
 		t.Errorf("improvement flagged as regression: %+v", regs)
 	}
 }
@@ -92,14 +92,31 @@ func TestDiffRecordsMatchesByCPUCount(t *testing.T) {
 	// workload; it must not be compared across counts.
 	base := &Record{Benchmarks: []Benchmark{{Name: "SweepWorkersMax", CPUs: 4, AllocsPerOp: 100}}}
 	cur := &Record{Benchmarks: []Benchmark{{Name: "SweepWorkersMax", CPUs: 1, AllocsPerOp: 1000}}}
-	if regs := diffRecords(base, cur, 0.10); len(regs) != 0 {
+	if regs := diffRecords(base, cur, 0.10, 0); len(regs) != 0 {
 		t.Errorf("cross-CPU-count comparison happened: %+v", regs)
 	}
 	// Pre-CPU-tracking baselines (cpus absent = 0) still match.
 	base.Benchmarks[0].CPUs = 0
-	regs := diffRecords(base, cur, 0.10)
+	regs := diffRecords(base, cur, 0.10, 0)
 	if len(regs) != 1 {
 		t.Errorf("legacy baseline should match any CPU count: %+v", regs)
+	}
+}
+
+func TestDiffRecordsGatesTimingOnlyWhenAsked(t *testing.T) {
+	base := &Record{Benchmarks: []Benchmark{{Name: "SimulatorDay", CPUs: 1, NsPerOp: 1e8, AllocsPerOp: 10000}}}
+	cur := &Record{Benchmarks: []Benchmark{{Name: "SimulatorDay", CPUs: 1, NsPerOp: 2e8, AllocsPerOp: 10000}}}
+	if regs := diffRecords(base, cur, 0.10, 0); len(regs) != 0 {
+		t.Errorf("ns/op gated with nsregress=0: %+v", regs)
+	}
+	regs := diffRecords(base, cur, 0.10, 0.25)
+	if len(regs) != 1 || regs[0].Metric != "ns/op" || regs[0].Ratio != 2 {
+		t.Errorf("regressions = %+v, want the 2x ns/op growth", regs)
+	}
+	// Timing growth within the ns threshold stays quiet.
+	cur.Benchmarks[0].NsPerOp = 1.2e8
+	if regs := diffRecords(base, cur, 0.10, 0.25); len(regs) != 0 {
+		t.Errorf("within-threshold timing flagged: %+v", regs)
 	}
 }
 

@@ -15,12 +15,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/config"
 	"repro/internal/faults"
 	"repro/internal/lora"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/simtime"
 )
@@ -71,6 +73,10 @@ func run() error {
 		jsonOut   = flag.Bool("json", false, "emit the summary as JSON")
 		nodeCSV   = flag.String("nodes-csv", "", "also write per-node results to this CSV file")
 
+		obsOn     = flag.Bool("obs", false, "export observability (counters, per-node timelines, manifest) under -obs-dir")
+		obsDir    = flag.String("obs-dir", "obs", "observability export directory (with -obs)")
+		obsSample = flag.Duration("obs-sample-every", 0, "observability timeline sampling period (0 = 10m default)")
+
 		downLoss     = flag.Float64("downlink-loss", 0, "probability of losing an ACK/beacon after PHY success")
 		upLoss       = flag.Float64("uplink-loss", 0, "probability of losing a decoded uplink on the backhaul")
 		upDup        = flag.Float64("uplink-dup", 0, "probability of duplicating a decoded uplink on the backhaul")
@@ -111,14 +117,39 @@ func run() error {
 		WuStaleFallback: *wuFallback,
 	}
 
+	var rec *obs.Recorder
+	if *obsOn {
+		rec = obs.New(obs.Manifest{
+			Experiment: "blasim",
+			Label:      cfg.ProtocolLabel(),
+			Seed:       cfg.Seed,
+			ConfigHash: cfg.Fingerprint(),
+			Nodes:      cfg.Nodes,
+		}, simtime.FromDuration(*obsSample))
+	}
+
 	started := time.Now()
-	s, err := sim.New(cfg, sim.Hooks{})
+	s, err := sim.New(cfg, sim.Hooks{Obs: rec})
 	if err != nil {
 		return err
 	}
 	res, err := s.Run()
 	if err != nil {
 		return err
+	}
+	if rec != nil {
+		if err := rec.ExportFiles(*obsDir, "run"); err != nil {
+			return fmt.Errorf("obs export: %w", err)
+		}
+		err := obs.WriteInvocationManifest(filepath.Join(*obsDir, "manifest.json"), obs.InvocationManifest{
+			Seed:          cfg.Seed,
+			Workers:       1,
+			SampleEveryMs: int64(rec.SampleEvery() / simtime.Millisecond),
+			Runs:          []string{"run.jsonl"},
+		})
+		if err != nil {
+			return fmt.Errorf("obs manifest: %w", err)
+		}
 	}
 
 	var prr, att, util, lat, deg metrics.Welford

@@ -35,6 +35,8 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/obs"
+	"repro/internal/runner"
 	"repro/internal/simtime"
 )
 
@@ -58,6 +60,10 @@ func run() error {
 		workers  = flag.Int("j", 0, "worker pool size for fan-out within an experiment (0 = all CPUs, 1 = serial)")
 		reps     = flag.Int("replicates", 0, "derived-seed replicates pooled per scenario (0 or 1 = single run)")
 		verbose  = flag.Bool("v", false, "log per-run progress")
+
+		obsOn     = flag.Bool("obs", false, "export per-run observability (counters, per-node timelines, manifest) under -obs-dir")
+		obsDir    = flag.String("obs-dir", "obs", "observability export directory (with -obs)")
+		obsSample = flag.Duration("obs-sample-every", 0, "observability timeline sampling period (0 = 10m default)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -135,6 +141,10 @@ func run() error {
 	if *verbose {
 		opts.Log = os.Stderr
 	}
+	if *obsOn {
+		opts.ObsDir = *obsDir
+		opts.ObsSampleEvery = simtime.FromDuration(*obsSample)
+	}
 
 	var entries []experiment.Entry
 	if *runNames == "all" {
@@ -172,7 +182,39 @@ func run() error {
 			fmt.Fprintf(os.Stderr, "%s finished in %v\n", e.Name, time.Since(started).Round(time.Millisecond))
 		}
 	}
+	if *obsOn {
+		if err := writeObsManifest(*obsDir, opts, entries); err != nil {
+			return fmt.Errorf("obs manifest: %w", err)
+		}
+	}
 	return nil
+}
+
+// writeObsManifest records this invocation's provenance — including the
+// resolved worker count, which deliberately lives here and not in the
+// per-run JSONL so run files stay byte-identical across -j values.
+func writeObsManifest(dir string, opts experiment.Options, entries []experiment.Entry) error {
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name)
+	}
+	var runs []string
+	if paths, err := filepath.Glob(filepath.Join(dir, "*.jsonl")); err == nil {
+		for _, p := range paths {
+			runs = append(runs, filepath.Base(p))
+		}
+	}
+	sampleEvery := opts.ObsSampleEvery
+	if sampleEvery <= 0 {
+		sampleEvery = obs.DefaultSampleEvery
+	}
+	return obs.WriteInvocationManifest(filepath.Join(dir, "manifest.json"), obs.InvocationManifest{
+		Seed:          opts.Seed,
+		Workers:       runner.Workers(opts.Workers),
+		SampleEveryMs: int64(sampleEvery / simtime.Millisecond),
+		Experiments:   names,
+		Runs:          runs,
+	})
 }
 
 func writeCSV(dir string, t *experiment.Table) error {

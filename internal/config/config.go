@@ -5,6 +5,7 @@ package config
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"repro/internal/battery"
 	"repro/internal/energy"
@@ -306,4 +307,14 @@ func (s Scenario) ProtocolLabel() string {
 	default:
 		return "LoRaWAN"
 	}
+}
+
+// Fingerprint returns a stable 64-bit hash of the scenario for run
+// manifests: two runs with equal fingerprints (and equal code) produce
+// identical results. It hashes the %+v rendering of the struct — the
+// Scenario holds no maps, so the rendering is deterministic.
+func (s Scenario) Fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", s)
+	return fmt.Sprintf("%016x", h.Sum64())
 }

@@ -96,22 +96,49 @@ func NewDiurnalEWMA(alpha float64) *DiurnalEWMA {
 }
 
 // Observe implements Forecaster: the average power over [from, to) is
-// folded into every minute-of-day slot the interval covers.
+// folded into every minute-of-day slot the interval touches.
+//
+// Each slot's EWMA update is weighted by the slot's share of the
+// observation — the overlap divided by min(interval length, slot
+// length). An interval contained in a single slot therefore keeps full
+// weight, and a fully covered interior slot of a long interval does
+// too, but a short observation straddling a minute boundary no longer
+// updates both slots as if it covered each of them fully: its evidence
+// is split in proportion to the overlap. Slots with negligible
+// coverage (weight below 1e-6) are skipped.
 func (f *DiurnalEWMA) Observe(from, to simtime.Time, energyJ float64) {
 	if to <= from {
 		return
 	}
-	power := energyJ / to.Sub(from).Seconds()
-	start := int64(from / simtime.Time(simtime.Minute))
-	end := int64((to - 1) / simtime.Time(simtime.Minute))
+	const minuteT = simtime.Time(simtime.Minute)
+	obsLen := to.Sub(from)
+	power := energyJ / obsLen.Seconds()
+	denom := obsLen
+	if denom > simtime.Minute {
+		denom = simtime.Minute
+	}
+	start := int64(from / minuteT)
+	end := int64((to - 1) / minuteT)
 	for m := start; m <= end; m++ {
+		lo, hi := from, to
+		if slotStart := simtime.Time(m) * minuteT; slotStart > lo {
+			lo = slotStart
+		}
+		if slotEnd := simtime.Time(m+1) * minuteT; slotEnd < hi {
+			hi = slotEnd
+		}
+		w := float64(hi.Sub(lo)) / float64(denom)
+		if w < 1e-6 {
+			continue
+		}
 		slot := int(m % minutesPerDay)
 		if !f.seen[slot] {
 			f.profile[slot] = power
 			f.seen[slot] = true
 			continue
 		}
-		f.profile[slot] = f.alpha*power + (1-f.alpha)*f.profile[slot]
+		a := f.alpha * w
+		f.profile[slot] = a*power + (1-a)*f.profile[slot]
 	}
 }
 

@@ -128,6 +128,50 @@ func TestDiurnalEWMAObserveWeighting(t *testing.T) {
 	}
 }
 
+// TestDiurnalEWMAObserveBoundaryStraddle is the regression test for the
+// slot-weighting bug: a short observation straddling a minute boundary
+// used to fold its average power into both touched slots with full EWMA
+// weight, as if it had covered each minute entirely. The update must be
+// weighted by each slot's share of the observation instead.
+func TestDiurnalEWMAObserveBoundaryStraddle(t *testing.T) {
+	f := NewDiurnalEWMA(0.5)
+	minute := simtime.Time(simtime.Minute)
+	// Train slots 1 and 2 to a steady 1 W with full-minute observations.
+	f.Observe(1*minute, 2*minute, 60)
+	f.Observe(2*minute, 3*minute, 60)
+	// 30 s at 5 W straddling the slot 1 / slot 2 boundary at 120 s:
+	// 15 s fall in each slot, so each carries half the observation's
+	// weight.
+	from := simtime.Time(105 * simtime.Second)
+	f.Observe(from, from.Add(30*simtime.Second), 150)
+	// Effective alpha per slot is 0.5 * 0.5 = 0.25:
+	//   profile = 0.25*5 W + 0.75*1 W = 2 W  ->  120 J per minute window.
+	// The old full-weight update gave 0.5*5 + 0.5*1 = 3 W (180 J).
+	got := f.ForecastWindows(simtime.Time(simtime.Day).Add(simtime.Minute), simtime.Minute, 2)
+	for i, g := range got {
+		if !closeTo(g, 120, 1e-9) {
+			t.Errorf("slot %d forecast %v J, want 120 J (coverage-weighted update)", i+1, g)
+		}
+	}
+}
+
+// TestDiurnalEWMAObserveSingleSlotFullWeight pins that an observation
+// contained in one minute slot still updates with the full alpha, no
+// matter how short it is — the coverage weighting must not dilute the
+// common case of sub-minute integration chunks.
+func TestDiurnalEWMAObserveSingleSlotFullWeight(t *testing.T) {
+	f := NewDiurnalEWMA(0.25)
+	minute := simtime.Time(simtime.Minute)
+	f.Observe(5*minute, 6*minute, 60) // slot 5 = 1 W
+	// 2 s entirely inside slot 5 at 4 W: full-weight EWMA update.
+	f.Observe(5*minute+simtime.Time(10*simtime.Second), 5*minute+simtime.Time(12*simtime.Second), 8)
+	want := (0.25*4 + 0.75*1) * 60
+	got := f.ForecastWindows(simtime.Time(simtime.Day).Add(5*simtime.Minute), simtime.Minute, 1)[0]
+	if !closeTo(got, want, 1e-9) {
+		t.Errorf("single-slot partial observation forecast %v J, want %v J", got, want)
+	}
+}
+
 func TestDiurnalEWMAObserveIgnoresEmptyInterval(t *testing.T) {
 	f := NewDiurnalEWMA(0.3)
 	f.Observe(100, 100, 5)

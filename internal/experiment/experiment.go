@@ -38,6 +38,14 @@ type Options struct {
 	Replicates int
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+	// ObsDir, when non-empty, enables per-run observability: every
+	// simulation run exports its counters, per-node timelines, and run
+	// manifest under this directory (see internal/obs). The exported
+	// files are byte-identical across repeated runs and worker counts.
+	ObsDir string
+	// ObsSampleEvery is the timeline sampling period; 0 uses
+	// obs.DefaultSampleEvery.
+	ObsSampleEvery simtime.Duration
 }
 
 func (o Options) seed() uint64 {

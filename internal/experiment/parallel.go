@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/config"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/sim"
 )
@@ -78,9 +79,26 @@ func runScenarios(o Options, name string, labels []string, scenarios []config.Sc
 		} else {
 			o.logf("%s: running %s (%d nodes, %v)", name, labels[si], cfg.Nodes, cfg.Duration)
 		}
-		res, err := simulate(cfg, sim.Hooks{})
+		var rec *obs.Recorder
+		if o.ObsDir != "" {
+			rec = obs.New(obs.Manifest{
+				Experiment: name,
+				Label:      labels[si],
+				Seed:       cfg.Seed,
+				ConfigHash: cfg.Fingerprint(),
+				Replicate:  rep,
+				Nodes:      cfg.Nodes,
+			}, o.ObsSampleEvery)
+		}
+		res, err := simulate(cfg, sim.Hooks{Obs: rec})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: %s: %w", labels[si], err)
+		}
+		if rec != nil {
+			base := fmt.Sprintf("%s_s%02d_r%02d", name, si, rep)
+			if err := rec.ExportFiles(o.ObsDir, base); err != nil {
+				return nil, fmt.Errorf("experiment: %s: obs export: %w", labels[si], err)
+			}
 		}
 		sum := summarize(res)
 		sum.label = labels[si]

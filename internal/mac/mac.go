@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/energy"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/utility"
 )
@@ -171,6 +172,10 @@ type BLAConfig struct {
 	// as if it were near the network's worst-off battery and weights
 	// degradation impact fully.
 	WuStaleFallback float64
+
+	// Obs is this node's observability timeline; nil (the default)
+	// records nothing.
+	Obs *obs.NodeTimeline
 }
 
 // Validate reports the first invalid field.
@@ -268,6 +273,7 @@ func (p *BLA) effectiveWu(at simtime.Time) float64 {
 	}
 	if !p.wuFresh || at.Sub(p.wuAt) > p.cfg.WuTTL {
 		p.staleDecisions++
+		p.cfg.Obs.StaleWu()
 		return p.cfg.WuStaleFallback
 	}
 	return p.wu
@@ -308,6 +314,7 @@ func (p *BLA) DecideTx(gen simtime.Time, windows int, storedJ float64) Decision 
 	if err != nil || !d.OK {
 		return Decision{Drop: true}
 	}
+	p.cfg.Obs.SetDIF(d.DIF)
 	return Decision{Window: d.Window, SpreadInWindow: true}
 }
 

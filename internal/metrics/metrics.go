@@ -52,11 +52,41 @@ func (w *Welford) Variance() float64 {
 // Std returns the sample standard deviation.
 func (w *Welford) Std() float64 { return math.Sqrt(w.Variance()) }
 
-// Min returns the smallest sample (0 with no samples).
+// Min returns the smallest sample (0 with no samples — indistinguishable
+// from a real 0 sample; exporters should prefer MinOK).
 func (w *Welford) Min() float64 { return w.min }
 
-// Max returns the largest sample (0 with no samples).
+// Max returns the largest sample (0 with no samples — indistinguishable
+// from a real 0 sample; exporters should prefer MaxOK).
 func (w *Welford) Max() float64 { return w.max }
+
+// MinOK returns the smallest sample and whether any sample was added;
+// with no samples it returns (NaN, false) so an empty accumulator can
+// never be mistaken for one holding a real zero.
+func (w *Welford) MinOK() (float64, bool) {
+	if w.n == 0 {
+		return math.NaN(), false
+	}
+	return w.min, true
+}
+
+// MaxOK returns the largest sample and whether any sample was added;
+// with no samples it returns (NaN, false).
+func (w *Welford) MaxOK() (float64, bool) {
+	if w.n == 0 {
+		return math.NaN(), false
+	}
+	return w.max, true
+}
+
+// MeanOK returns the sample mean and whether any sample was added; with
+// no samples it returns (NaN, false).
+func (w *Welford) MeanOK() (float64, bool) {
+	if w.n == 0 {
+		return math.NaN(), false
+	}
+	return w.mean, true
+}
 
 // Reservoir keeps a bounded uniform sample of a stream for quantile
 // estimation (exact until the capacity is exceeded).
@@ -65,6 +95,11 @@ type Reservoir struct {
 	seen int64
 	data []float64
 	rng  *rand.Rand
+
+	// sorted caches a sorted copy of data so an export asking for many
+	// quantiles sorts once, not once per Quantile call; Add invalidates.
+	sorted []float64
+	dirty  bool
 }
 
 // NewReservoir returns a reservoir holding at most capacity samples.
@@ -81,6 +116,7 @@ func NewReservoir(capacity int, seed uint64) *Reservoir {
 // Add feeds one sample.
 func (r *Reservoir) Add(x float64) {
 	r.seen++
+	r.dirty = true
 	if len(r.data) < r.cap {
 		r.data = append(r.data, x)
 		return
@@ -93,15 +129,36 @@ func (r *Reservoir) Add(x float64) {
 // Seen returns the total number of samples offered.
 func (r *Reservoir) Seen() int64 { return r.seen }
 
+// sortedData returns the retained samples in ascending order, re-sorting
+// only when samples were added since the last call.
+func (r *Reservoir) sortedData() []float64 {
+	if r.dirty || len(r.sorted) != len(r.data) {
+		r.sorted = append(r.sorted[:0], r.data...)
+		sort.Float64s(r.sorted)
+		r.dirty = false
+	}
+	return r.sorted
+}
+
 // Quantile returns the q-quantile (0 <= q <= 1) of the retained sample
-// using linear interpolation; it returns 0 when empty.
+// using linear interpolation; it returns 0 when empty (indistinguishable
+// from a real 0 — exporters should prefer QuantileOK).
 func (r *Reservoir) Quantile(q float64) float64 {
-	if len(r.data) == 0 {
+	v, ok := r.QuantileOK(q)
+	if !ok {
 		return 0
 	}
-	sorted := append([]float64(nil), r.data...)
-	sort.Float64s(sorted)
-	return quantileOf(sorted, q)
+	return v
+}
+
+// QuantileOK returns the q-quantile of the retained sample and whether
+// the reservoir holds any samples; when empty it returns (NaN, false).
+func (r *Reservoir) QuantileOK(q float64) (float64, bool) {
+	sorted := r.sortedData()
+	if len(sorted) == 0 {
+		return math.NaN(), false
+	}
+	return quantileOf(sorted, q), true
 }
 
 func quantileOf(sorted []float64, q float64) float64 {

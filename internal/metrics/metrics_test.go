@@ -42,6 +42,59 @@ func TestWelfordEmptyAndSingle(t *testing.T) {
 	}
 }
 
+// TestWelfordOKAccessors pins the empty-accumulator disambiguation: the
+// ok-variants must report (NaN, false) when no sample was added, and the
+// real extremes afterwards — even when those extremes are genuinely 0.
+func TestWelfordOKAccessors(t *testing.T) {
+	var w Welford
+	if v, ok := w.MinOK(); ok || !math.IsNaN(v) {
+		t.Errorf("empty MinOK = (%v, %v), want (NaN, false)", v, ok)
+	}
+	if v, ok := w.MaxOK(); ok || !math.IsNaN(v) {
+		t.Errorf("empty MaxOK = (%v, %v), want (NaN, false)", v, ok)
+	}
+	if v, ok := w.MeanOK(); ok || !math.IsNaN(v) {
+		t.Errorf("empty MeanOK = (%v, %v), want (NaN, false)", v, ok)
+	}
+	w.Add(0)
+	if v, ok := w.MinOK(); !ok || v != 0 {
+		t.Errorf("MinOK after Add(0) = (%v, %v), want (0, true)", v, ok)
+	}
+	if v, ok := w.MaxOK(); !ok || v != 0 {
+		t.Errorf("MaxOK after Add(0) = (%v, %v), want (0, true)", v, ok)
+	}
+}
+
+// TestReservoirQuantileCache checks that the sort-once cache returns the
+// same quantiles as a fresh sort and is invalidated by Add.
+func TestReservoirQuantileCache(t *testing.T) {
+	r := NewReservoir(64, 1)
+	if v, ok := r.QuantileOK(0.5); ok || !math.IsNaN(v) {
+		t.Errorf("empty QuantileOK = (%v, %v), want (NaN, false)", v, ok)
+	}
+	if got := r.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	for _, x := range []float64{5, 1, 3} {
+		r.Add(x)
+	}
+	if got := r.Quantile(0.5); got != 3 {
+		t.Errorf("median = %v, want 3", got)
+	}
+	// Repeated queries hit the cache and must agree.
+	if got := r.Quantile(0); got != 1 {
+		t.Errorf("q0 = %v, want 1", got)
+	}
+	if got := r.Quantile(1); got != 5 {
+		t.Errorf("q1 = %v, want 5", got)
+	}
+	// Adding invalidates the cached order.
+	r.Add(9)
+	if got := r.Quantile(1); got != 9 {
+		t.Errorf("q1 after Add = %v, want 9 (stale sort cache?)", got)
+	}
+}
+
 func TestWelfordMatchesNaive(t *testing.T) {
 	f := func(seed uint64, rawN uint8) bool {
 		rng := rand.New(rand.NewPCG(seed, 5))

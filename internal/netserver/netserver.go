@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"repro/internal/battery"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -40,6 +41,25 @@ type Server struct {
 	firstCompute simtime.Time
 	nextDue      simtime.Time
 	computed     bool
+
+	// Observability handles; nil (no-op) unless SetObserver installed
+	// them.
+	cPackets, cPacketsDup, cReports, cReportsStale, cRecomputes *obs.Counter
+	gDmax                                                       *obs.Gauge
+}
+
+// SetObserver attaches observability counters. A nil or disabled
+// recorder leaves the server un-instrumented.
+func (s *Server) SetObserver(r *obs.Recorder) {
+	if !r.Enabled() {
+		return
+	}
+	s.cPackets = r.Counter("netserver.packets_ingested")
+	s.cPacketsDup = r.Counter("netserver.packets_duplicate")
+	s.cReports = r.Counter("netserver.reports_ingested")
+	s.cReportsStale = r.Counter("netserver.reports_stale")
+	s.cRecomputes = r.Counter("netserver.recomputes")
+	s.gDmax = r.Gauge("netserver.dmax")
 }
 
 type nodeState struct {
@@ -123,15 +143,19 @@ func (s *Server) Ingest(nodeID int, reports []battery.Report, packetAt simtime.T
 		return
 	}
 	if packetAt <= st.lastPacketAt {
+		s.cPacketsDup.Inc()
 		return
 	}
+	s.cPackets.Inc()
 	st.lastPacketAt = packetAt
 	newest := st.lastReportAt
 	for _, r := range reports {
 		tr := r.Decode(packetAt, window)
 		if tr.At <= st.lastReportAt {
+			s.cReportsStale.Inc()
 			continue
 		}
+		s.cReports.Inc()
 		st.tracker.Push(tr.SoC)
 		if tr.At > newest {
 			newest = tr.At
@@ -174,6 +198,8 @@ func (s *Server) recompute(now simtime.Time) {
 		}
 		st.wu = QuantizeWu(wu)
 	}
+	s.cRecomputes.Inc()
+	s.gDmax.Set(dmax)
 }
 
 // QuantizeWu quantizes a normalized degradation in [0,1] to the 1-byte

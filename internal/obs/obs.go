@@ -1,0 +1,389 @@
+// Package obs is the deterministic observability layer: named counters
+// and gauges, per-node time-series samplers, and a run manifest, with
+// JSONL/CSV exporters. It exists so a run's interior — SoC and
+// degradation trajectories, DIF, window choices, queue depths,
+// retransmissions, stale-w_u fallbacks, fault events — is inspectable
+// without ad-hoc printf instrumentation.
+//
+// Two properties shape the API:
+//
+//   - A disabled recorder is zero-overhead on the hot path. All
+//     recording methods are defined on concrete pointer types and are
+//     nil-safe no-ops, so instrumented code calls them unconditionally:
+//     no interface boxing, no allocation, one nil check per call.
+//
+//   - An enabled recorder is deterministic. Export walks nodes in ID
+//     order and counters in name order, never map iteration order, and
+//     records contain no wall-clock timestamps — only virtual simulation
+//     time. The same scenario therefore exports byte-identical files
+//     across repeated runs and worker counts.
+//
+// The one deliberate exception is worker count: it belongs in a run's
+// provenance but would break byte-identity across `-j` values, so it
+// lives in the per-invocation manifest written by the CLI (manifest.json)
+// rather than in the per-run JSONL manifest line.
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/simtime"
+)
+
+// SchemaVersion identifies the JSONL record layout; bump it when record
+// fields change meaning.
+const SchemaVersion = 1
+
+// ToolVersion is stamped into manifests so exported runs can be traced
+// back to the code that produced them.
+const ToolVersion = "0.4.0"
+
+// DefaultSampleEvery is the timeline sampling period used when the
+// recorder is constructed without one.
+const DefaultSampleEvery = 10 * simtime.Minute
+
+// Counter is a named monotonic tally. A nil *Counter is a valid,
+// permanently disabled counter: Inc/Add/Store on nil are no-ops and
+// Value returns 0, so instrumented code never branches on "is
+// observability on".
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Store overwrites the tally (for end-of-run totals computed elsewhere,
+// e.g. the engine's executed-event count).
+func (c *Counter) Store(n int64) {
+	if c != nil {
+		c.v.Store(n)
+	}
+}
+
+// Value returns the current tally (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name returns the registered name ("" on nil).
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Gauge is a named last-value float. A nil *Gauge is a valid disabled
+// gauge.
+type Gauge struct {
+	name string
+	bits atomic.Uint64
+}
+
+// Set records the value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last recorded value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Name returns the registered name ("" on nil).
+func (g *Gauge) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// Sample is one row of a node's timeline. Retx and StaleWu are
+// cumulative counts at the sample instant; Window and DIF are the most
+// recent MAC decision's outputs (-1 / 0 before the first decision).
+type Sample struct {
+	At       simtime.Time
+	SoC      float64
+	DegCal   float64
+	DegCyc   float64
+	DegTotal float64
+	DIF      float64
+	Window   int
+	Queue    int
+	Retx     int64
+	StaleWu  int64
+}
+
+// Event is a discrete per-node occurrence (brownout, fault drop, ...).
+type Event struct {
+	At   simtime.Time
+	Kind string
+}
+
+// NodeTimeline accumulates one node's time series. Methods are nil-safe
+// no-ops, so hosts thread a possibly-nil pointer through unconditionally.
+//
+// A timeline is single-writer: exactly one goroutine (the node's owner)
+// records into it, and readers only look after the run's final
+// synchronization point. It therefore needs no locking of its own.
+type NodeTimeline struct {
+	id int
+
+	lastWindow int
+	lastDIF    float64
+	retx       int64
+	staleWu    int64
+
+	samples []Sample
+	events  []Event
+}
+
+// ID returns the node ID (-1 on nil).
+func (t *NodeTimeline) ID() int {
+	if t == nil {
+		return -1
+	}
+	return t.id
+}
+
+// Decision records a MAC verdict: the selected window, or -1 for a
+// dropped packet.
+func (t *NodeTimeline) Decision(window int, drop bool) {
+	if t == nil {
+		return
+	}
+	if drop {
+		t.lastWindow = -1
+		return
+	}
+	t.lastWindow = window
+}
+
+// SetDIF records the degradation impact factor of the latest decision.
+func (t *NodeTimeline) SetDIF(dif float64) {
+	if t != nil {
+		t.lastDIF = dif
+	}
+}
+
+// StaleWu counts one decision that fell back to the conservative w_u.
+func (t *NodeTimeline) StaleWu() {
+	if t != nil {
+		t.staleWu++
+	}
+}
+
+// PacketDone accounts a settled packet; attempts beyond the first count
+// as retransmissions.
+func (t *NodeTimeline) PacketDone(delivered bool, attempts int) {
+	if t == nil {
+		return
+	}
+	_ = delivered
+	if attempts > 1 {
+		t.retx += int64(attempts - 1)
+	}
+}
+
+// RecordEvent appends a discrete event at the given virtual instant.
+func (t *NodeTimeline) RecordEvent(at simtime.Time, kind string) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{At: at, Kind: kind})
+}
+
+// Record appends one timeline row, folding in the cumulative decision
+// state (last window, last DIF, retransmissions, stale-w_u count).
+func (t *NodeTimeline) Record(at simtime.Time, soc, degCal, degCyc, degTotal float64, queue int) {
+	if t == nil {
+		return
+	}
+	t.samples = append(t.samples, Sample{
+		At:       at,
+		SoC:      soc,
+		DegCal:   degCal,
+		DegCyc:   degCyc,
+		DegTotal: degTotal,
+		DIF:      t.lastDIF,
+		Window:   t.lastWindow,
+		Queue:    queue,
+		Retx:     t.retx,
+		StaleWu:  t.staleWu,
+	})
+}
+
+// Samples returns the recorded rows (nil on nil receiver).
+func (t *NodeTimeline) Samples() []Sample {
+	if t == nil {
+		return nil
+	}
+	return t.samples
+}
+
+// Events returns the recorded events (nil on nil receiver).
+func (t *NodeTimeline) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Manifest is one run's provenance, exported as the first JSONL line.
+// Deliberately absent: the worker count (it varies without changing the
+// run's bytes — see the package comment) and any wall-clock timestamp.
+type Manifest struct {
+	Tool       string
+	Version    string
+	Experiment string
+	Label      string
+	Seed       uint64
+	ConfigHash string
+	Replicate  int
+	Nodes      int
+}
+
+// Recorder is one run's observability sink. A nil *Recorder is valid
+// and fully disabled: every method is a no-op and every handle it
+// returns is nil (whose methods are in turn no-ops).
+type Recorder struct {
+	manifest    Manifest
+	sampleEvery simtime.Duration
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	nodes    []*NodeTimeline
+}
+
+// New returns an enabled recorder. A non-positive sampleEvery selects
+// DefaultSampleEvery; empty tool/version fields are stamped with the
+// package defaults.
+func New(m Manifest, sampleEvery simtime.Duration) *Recorder {
+	if sampleEvery <= 0 {
+		sampleEvery = DefaultSampleEvery
+	}
+	if m.Tool == "" {
+		m.Tool = "repro"
+	}
+	if m.Version == "" {
+		m.Version = ToolVersion
+	}
+	return &Recorder{
+		manifest:    m,
+		sampleEvery: sampleEvery,
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+	}
+}
+
+// Enabled reports whether the recorder records anything.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Manifest returns the run manifest (zero value on nil).
+func (r *Recorder) Manifest() Manifest {
+	if r == nil {
+		return Manifest{}
+	}
+	return r.manifest
+}
+
+// SampleEvery returns the timeline sampling period (0 on nil).
+func (r *Recorder) SampleEvery() simtime.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.sampleEvery
+}
+
+// Counter returns the named counter, creating it on first use (nil on a
+// nil recorder). Safe for concurrent use.
+func (r *Recorder) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use (nil on a nil
+// recorder). Safe for concurrent use.
+func (r *Recorder) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// SetupNodes pre-allocates timelines for node IDs [0, n). Hosts call it
+// once at construction so Node never races with itself mid-run.
+func (r *Recorder) SetupNodes(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.nodes) < n {
+		r.nodes = append(r.nodes, &NodeTimeline{id: len(r.nodes), lastWindow: -1})
+	}
+}
+
+// Node returns node id's timeline, growing the set as needed (nil on a
+// nil recorder or a negative id).
+func (r *Recorder) Node(id int) *NodeTimeline {
+	if r == nil || id < 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.nodes) <= id {
+		r.nodes = append(r.nodes, &NodeTimeline{id: len(r.nodes), lastWindow: -1})
+	}
+	return r.nodes[id]
+}
+
+// NumNodes returns how many node timelines exist (0 on nil).
+func (r *Recorder) NumNodes() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.nodes)
+}

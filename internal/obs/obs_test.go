@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// TestNilRecorderIsInert exercises every recording path on a nil
+// recorder and its nil handles: nothing may panic, everything must be a
+// no-op. This is the "disabled = zero overhead, zero risk" contract.
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	if r.SampleEvery() != 0 || r.NumNodes() != 0 {
+		t.Fatal("nil recorder leaks state")
+	}
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(5)
+	c.Store(7)
+	if c.Value() != 0 || c.Name() != "" {
+		t.Fatal("nil counter retained a value")
+	}
+	g := r.Gauge("y")
+	g.Set(3.5)
+	if g.Value() != 0 || g.Name() != "" {
+		t.Fatal("nil gauge retained a value")
+	}
+	r.SetupNodes(4)
+	tl := r.Node(2)
+	tl.Decision(3, false)
+	tl.SetDIF(0.5)
+	tl.StaleWu()
+	tl.PacketDone(true, 4)
+	tl.RecordEvent(10, "brownout")
+	tl.Record(10, 0.5, 0, 0, 0, 1)
+	if tl.ID() != -1 || len(tl.Samples()) != 0 || len(tl.Events()) != 0 {
+		t.Fatal("nil timeline retained state")
+	}
+	if err := r.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ExportFiles(t.TempDir(), "run"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterAndGaugeRegistry(t *testing.T) {
+	r := New(Manifest{Seed: 7}, 0)
+	if r.SampleEvery() != DefaultSampleEvery {
+		t.Fatalf("default sample period = %v, want %v", r.SampleEvery(), DefaultSampleEvery)
+	}
+	a := r.Counter("hits")
+	b := r.Counter("hits")
+	if a != b {
+		t.Fatal("same name must return the same counter")
+	}
+	a.Inc()
+	b.Add(2)
+	if got := r.Counter("hits").Value(); got != 3 {
+		t.Fatalf("counter value = %d, want 3", got)
+	}
+	g := r.Gauge("level")
+	g.Set(1.5)
+	g.Set(2.5)
+	if got := r.Gauge("level").Value(); got != 2.5 {
+		t.Fatalf("gauge value = %v, want 2.5", got)
+	}
+}
+
+func TestTimelineAccumulation(t *testing.T) {
+	r := New(Manifest{}, simtime.Minute)
+	r.SetupNodes(2)
+	tl := r.Node(1)
+	if tl.ID() != 1 {
+		t.Fatalf("timeline ID = %d, want 1", tl.ID())
+	}
+	// Before any decision, samples carry window -1 and DIF 0.
+	tl.Record(0, 1.0, 0, 0, 0, 0)
+	tl.Decision(3, false)
+	tl.SetDIF(0.25)
+	tl.PacketDone(true, 3) // 2 retransmissions
+	tl.StaleWu()
+	tl.Record(simtime.Time(simtime.Minute), 0.9, 1e-5, 2e-5, 3e-5, 2)
+	tl.Decision(0, true) // drop: window resets to -1
+	tl.Record(simtime.Time(2*simtime.Minute), 0.8, 0, 0, 0, 0)
+
+	s := tl.Samples()
+	if len(s) != 3 {
+		t.Fatalf("samples = %d, want 3", len(s))
+	}
+	if s[0].Window != -1 || s[0].DIF != 0 {
+		t.Errorf("pre-decision sample = %+v, want window -1, DIF 0", s[0])
+	}
+	if s[1].Window != 3 || s[1].DIF != 0.25 || s[1].Retx != 2 || s[1].StaleWu != 1 || s[1].Queue != 2 {
+		t.Errorf("post-decision sample = %+v", s[1])
+	}
+	if s[2].Window != -1 {
+		t.Errorf("post-drop sample window = %d, want -1", s[2].Window)
+	}
+}
+
+// buildRecorder assembles a fixed recorder state; two calls must export
+// byte-identical files. Registration order of counters deliberately
+// differs between variants to prove export order is name-sorted.
+func buildRecorder(variant int) *Recorder {
+	r := New(Manifest{Experiment: "exp", Label: "l", Seed: 42, ConfigHash: "abcd", Nodes: 2}, simtime.Minute)
+	names := []string{"b.two", "a.one", "c.three"}
+	if variant == 1 {
+		names = []string{"c.three", "a.one", "b.two"}
+	}
+	for _, n := range names {
+		r.Counter(n).Add(int64(len(n)))
+	}
+	r.Gauge("g.x").Set(0.75)
+	r.SetupNodes(2)
+	for id := 0; id < 2; id++ {
+		tl := r.Node(id)
+		tl.Decision(id, false)
+		tl.SetDIF(0.5 * float64(id+1))
+		tl.Record(simtime.Time(simtime.Minute), 0.9, 1e-6, 2e-6, 3e-6, id)
+		tl.RecordEvent(simtime.Time(2*simtime.Minute), "brownout")
+	}
+	return r
+}
+
+func TestExportDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := buildRecorder(0).WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildRecorder(1).WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("JSONL export depends on registration order:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	lines := strings.Split(strings.TrimSpace(a.String()), "\n")
+	if want := 1 + 3 + 1 + 2 + 2; len(lines) != want {
+		t.Fatalf("JSONL lines = %d, want %d", len(lines), want)
+	}
+	if !strings.Contains(lines[0], `"t":"manifest"`) || !strings.Contains(lines[0], `"seed":42`) {
+		t.Errorf("first line is not the manifest: %s", lines[0])
+	}
+	if strings.Contains(a.String(), "workers") {
+		t.Error("per-run JSONL must not embed the worker count")
+	}
+	var csvA, csvB bytes.Buffer
+	if err := buildRecorder(0).WriteCountersCSV(&csvA); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildRecorder(1).WriteCountersCSV(&csvB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csvA.Bytes(), csvB.Bytes()) {
+		t.Error("counters CSV depends on registration order")
+	}
+}
+
+func TestSummaryCSVEmptyNode(t *testing.T) {
+	r := New(Manifest{}, simtime.Minute)
+	r.SetupNodes(2)
+	r.Node(0).Record(0, 0, 0, 0, 0, 0) // node 0: one genuine all-zero sample
+	var buf bytes.Buffer
+	if err := r.WriteSummaryCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("summary lines = %d, want header + 2 nodes", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "0,1,0,0,0,0,0,") {
+		t.Errorf("node 0 row %q should report real zero statistics", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "1,0,0,,,,,") {
+		t.Errorf("node 1 row %q should have empty cells for missing samples", lines[2])
+	}
+}
+
+func TestExportFilesAndInvocationManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := buildRecorder(0).ExportFiles(dir, "run0"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"run0.jsonl", "run0_timeline.csv", "run0_counters.csv", "run0_summary.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing export %s: %v", name, err)
+		}
+	}
+	path := filepath.Join(dir, "manifest.json")
+	err := WriteInvocationManifest(path, InvocationManifest{
+		Seed: 1, Workers: 8, Runs: []string{"run0.jsonl"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"workers": 8`, `"tool": "repro"`, `"run0.jsonl"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("manifest.json missing %s:\n%s", want, data)
+		}
+	}
+}

@@ -36,10 +36,11 @@ type entry struct {
 // regardless of whether they are typed pooled events or closures.
 // Engine is not safe for concurrent use.
 type Engine struct {
-	now  simtime.Time
-	pq   []entry // binary min-heap over (at, seq)
-	seq  uint64
-	stop bool
+	now      simtime.Time
+	pq       []entry // binary min-heap over (at, seq)
+	seq      uint64
+	executed uint64
+	stop     bool
 }
 
 // NewEngine returns an engine at time zero.
@@ -76,6 +77,12 @@ func (e *Engine) Stop() { e.stop = true }
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return len(e.pq) }
 
+// Scheduled returns how many events were ever enqueued.
+func (e *Engine) Scheduled() uint64 { return e.seq }
+
+// Executed returns how many events have fired.
+func (e *Engine) Executed() uint64 { return e.executed }
+
 // Step executes the next event; it reports false when the queue is
 // empty.
 func (e *Engine) Step() bool {
@@ -84,6 +91,7 @@ func (e *Engine) Step() bool {
 	}
 	en := e.pop()
 	e.now = en.at
+	e.executed++
 	en.ev.Fire()
 	return true
 }
@@ -96,6 +104,7 @@ func (e *Engine) Run(horizon simtime.Time) {
 	for !e.stop && len(e.pq) > 0 && e.pq[0].at <= horizon {
 		en := e.pop()
 		e.now = en.at
+		e.executed++
 		en.ev.Fire()
 	}
 	if !e.stop && e.now < horizon {

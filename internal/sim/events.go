@@ -5,14 +5,15 @@ import "repro/internal/simtime"
 // Simulation event kinds. Each maps to one protocol action; together
 // they replace the closure-per-Schedule hot path with pooled structs.
 const (
-	evGenerate uint8 = iota // node timer: generate the next packet
-	evAttempt               // transmission attempt (first, deferred, or retry)
-	evTxEnd                 // uplink airtime over: resolve reception
-	evDownlink              // gateway starts the reserved ACK downlink
-	evAckDone               // receive window closes with the ACK decoded
-	evDaily                 // gateway degradation recomputation tick
-	evMonthly               // monthly degradation sampling tick
-	evBrownout              // fault injection: node restart losing volatile state
+	evGenerate  uint8 = iota // node timer: generate the next packet
+	evAttempt                // transmission attempt (first, deferred, or retry)
+	evTxEnd                  // uplink airtime over: resolve reception
+	evDownlink               // gateway starts the reserved ACK downlink
+	evAckDone                // receive window closes with the ACK decoded
+	evDaily                  // gateway degradation recomputation tick
+	evMonthly                // monthly degradation sampling tick
+	evBrownout               // fault injection: node restart losing volatile state
+	evObsSample              // observability: sample every node's timeline row
 )
 
 // simEvent is one pooled simulation event. Packet-bearing events also
@@ -59,6 +60,8 @@ func (e *simEvent) Fire() {
 		s.monthlyTick()
 	case evBrownout:
 		s.brownout(n)
+	case evObsSample:
+		s.obsSample()
 	}
 }
 

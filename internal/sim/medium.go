@@ -2,6 +2,7 @@ package sim
 
 import (
 	"repro/internal/lora"
+	"repro/internal/obs"
 	"repro/internal/radio"
 	"repro/internal/simtime"
 )
@@ -100,6 +101,26 @@ type Medium struct {
 
 	decoded []int // reusable EndUplink result buffer
 	freeTx  *Transmission
+
+	// Observability handles; nil (no-op) unless SetObserver installed
+	// them. obsOn gates the loss-classification scan so a disabled
+	// recorder costs nothing beyond one bool check per uplink.
+	obsOn                                                    bool
+	cUplinks, cDecoded, cLostCollision, cLostBusy, cLostWeak *obs.Counter
+}
+
+// SetObserver attaches observability counters. A nil or disabled
+// recorder leaves the medium un-instrumented.
+func (m *Medium) SetObserver(r *obs.Recorder) {
+	if !r.Enabled() {
+		return
+	}
+	m.obsOn = true
+	m.cUplinks = r.Counter("medium.uplinks")
+	m.cDecoded = r.Counter("medium.uplinks_decoded")
+	m.cLostCollision = r.Counter("medium.uplinks_lost_collision")
+	m.cLostBusy = r.Counter("medium.uplinks_lost_busy")
+	m.cLostWeak = r.Counter("medium.uplinks_lost_weak")
 }
 
 // NewMedium returns a medium for the given channel bandwidth, gateway
@@ -185,6 +206,7 @@ func (m *Medium) BeginUplink(tx *Transmission) {
 		tx.anyViable = true
 		m.viable++
 	}
+	m.cUplinks.Inc()
 	tx.activeIdx = len(m.active)
 	m.active = append(m.active, tx)
 	tx.bucketIdx = len(bkt)
@@ -261,6 +283,36 @@ func (m *Medium) EndUplink(tx *Transmission) []int {
 		decoded[j+1] = g
 	}
 	m.decoded = decoded
+
+	if m.obsOn {
+		if len(decoded) > 0 {
+			m.cDecoded.Inc()
+		} else {
+			// Classify the loss by the best outcome any in-range gateway
+			// offered: interference beats a busy demodulator beats a
+			// signal too weak everywhere.
+			var anyCorrupted, anyUnlocked bool
+			for g := 0; g < m.gateways; g++ {
+				if tx.weak.get(g) {
+					continue
+				}
+				if tx.corrupted.get(g) {
+					anyCorrupted = true
+				}
+				if tx.unlocked.get(g) {
+					anyUnlocked = true
+				}
+			}
+			switch {
+			case anyCorrupted:
+				m.cLostCollision.Inc()
+			case anyUnlocked:
+				m.cLostBusy.Inc()
+			default:
+				m.cLostWeak.Inc()
+			}
+		}
+	}
 
 	if tx.pooled {
 		tx.begun = false

@@ -8,6 +8,7 @@ import (
 	"repro/internal/lora"
 	"repro/internal/mac"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/radio"
 	"repro/internal/simtime"
 )
@@ -35,6 +36,7 @@ type Node struct {
 	rxEnergyJ  float64          // receive-window cost per attempt
 	ackAirtime simtime.Duration // downlink ACK duration at this SF
 	span       simtime.Duration // worst-case attempt duration, precomputed
+	obsTL      *obs.NodeTimeline
 
 	lastIntegrated simtime.Time
 	extraDrawJ     float64 // radio energy awaiting the next balance chunk

@@ -13,6 +13,7 @@ import (
 	"repro/internal/mac"
 	"repro/internal/metrics"
 	"repro/internal/netserver"
+	"repro/internal/obs"
 	"repro/internal/radio"
 	"repro/internal/simtime"
 	"repro/internal/utility"
@@ -46,6 +47,9 @@ type Hooks struct {
 	// OnMonth fires every 30 simulated days with the node set, letting
 	// experiments sample degradation trajectories (Fig. 2/7).
 	OnMonth func(now simtime.Time, nodes []*Node)
+	// Obs receives counters, per-node timelines, and fault events. Nil
+	// disables observability at zero hot-path cost.
+	Obs *obs.Recorder
 }
 
 // NodeResult is one node's final accounting.
@@ -91,6 +95,15 @@ type Simulation struct {
 
 	freeEv  *simEvent // pooled typed events
 	freePkt *packet   // pooled packets
+
+	// Observability; obs is nil (and the counters no-ops) unless
+	// Hooks.Obs was set.
+	obs              *obs.Recorder
+	cBrownouts       *obs.Counter
+	cLostOutage      *obs.Counter
+	cDroppedBackhaul *obs.Counter
+	cDuplicated      *obs.Counter
+	cDownlinkDropped *obs.Counter
 }
 
 // New builds a simulation from a validated scenario.
@@ -127,6 +140,17 @@ func New(cfg config.Scenario, hooks Hooks) (*Simulation, error) {
 		util:   utility.Linear{},
 		gwPos:  radio.GatewayLayout(cfg.Gateways, cfg.MaxDistanceM),
 		phy:    phy,
+		obs:    hooks.Obs,
+	}
+	s.obs.SetupNodes(cfg.Nodes)
+	s.med.SetObserver(s.obs)
+	s.server.SetObserver(s.obs)
+	if s.obs.Enabled() {
+		s.cBrownouts = s.obs.Counter("sim.brownouts")
+		s.cLostOutage = s.obs.Counter("sim.uplinks_lost_outage")
+		s.cDroppedBackhaul = s.obs.Counter("sim.uplinks_dropped_backhaul")
+		s.cDuplicated = s.obs.Counter("sim.uplinks_duplicated")
+		s.cDownlinkDropped = s.obs.Counter("sim.downlinks_dropped")
 	}
 	if cfg.Faults.Active() {
 		if s.plan, err = faults.NewPlan(cfg.Faults, cfg.Seed, cfg.Nodes); err != nil {
@@ -258,6 +282,7 @@ func (s *Simulation) buildNode(id int, trace *energy.YearTrace) (*Node, error) {
 			DisableRetxHistory: cfg.DisableRetxHistory,
 			WuTTL:              cfg.Faults.WuTTL,
 			WuStaleFallback:    cfg.Faults.WuStaleFallback,
+			Obs:                s.obs.Node(id),
 		}); err != nil {
 			return nil, err
 		}
@@ -283,6 +308,7 @@ func (s *Simulation) buildNode(id int, trace *energy.YearTrace) (*Node, error) {
 		rxEnergyJ:  rxE,
 		ackAirtime: ackAirtime,
 		span:       params.Airtime(64) + rxWindowsSpan + 3*simtime.Second,
+		obsTL:      s.obs.Node(id),
 	}, nil
 }
 
@@ -310,6 +336,9 @@ func (s *Simulation) Run() (*Result, error) {
 	}
 	s.schedule(0, evDaily, nil, nil, nil, 0, 0)
 	s.schedule(simtime.Time(30*simtime.Day), evMonthly, nil, nil, nil, 0, 0)
+	if s.obs.Enabled() {
+		s.schedule(0, evObsSample, nil, nil, nil, 0, 0)
+	}
 
 	s.eng.Run(simtime.Time(horizon))
 
@@ -336,7 +365,25 @@ func (s *Simulation) Run() (*Result, error) {
 			FinalSoC:    n.Batt.SoC(),
 		})
 	}
+	if s.obs.Enabled() {
+		s.obs.Counter("engine.events_scheduled").Store(int64(s.eng.Scheduled()))
+		s.obs.Counter("engine.events_executed").Store(int64(s.eng.Executed()))
+	}
 	return res, nil
+}
+
+// obsSample records every node's timeline row at the current instant and
+// reschedules itself. Sampling is read-only — Damage and SoC are pure
+// accessors and no energy integration runs — so enabling observability
+// cannot perturb the simulation: RNG streams, event order, and all
+// results stay byte-identical to an unobserved run.
+func (s *Simulation) obsSample() {
+	now := s.eng.Now()
+	for _, n := range s.nodes {
+		bd := n.Batt.Damage(now)
+		n.obsTL.Record(now, n.Batt.SoC(), bd.Calendar, bd.Cycle, bd.Total, len(n.pendingTrans))
+	}
+	s.schedule(now.Add(s.obs.SampleEvery()), evObsSample, nil, nil, nil, 0, 0)
 }
 
 // dailyTick runs the gateway's daily degradation recomputation and the
@@ -386,6 +433,7 @@ func (s *Simulation) generate(n *Node) {
 
 	n.Stats.Generated++
 	dec := n.Proto.DecideTx(now, n.Windows, n.Batt.Stored())
+	n.obsTL.Decision(dec.Window, dec.Drop)
 	if s.hooks.OnDecision != nil {
 		s.hooks.OnDecision(n.ID, now, n.Windows, dec.Window, dec.Drop)
 	}
@@ -489,31 +537,48 @@ func (s *Simulation) txEnd(n *Node, pkt *packet, gen uint64, tx *Transmission) {
 	pkt.radioEnergyJ += n.rxEnergyJ
 
 	gws := s.med.EndUplink(tx)
-	if len(gws) > 0 && !s.plan.GatewayDown(now) && !s.plan.DropUplink(n.ID) {
-		reports := n.encodeReports(now, s.cfg.ForecastWindow)
-		s.server.Ingest(n.ID, reports, now, s.cfg.ForecastWindow)
-		if s.plan.DuplicateUplink(n.ID) {
-			// Backhaul duplication: the server sees the same packet twice;
-			// idempotent ingestion makes the second delivery a no-op.
+	if len(gws) > 0 {
+		// The switch mirrors the original short-circuit chain exactly:
+		// GatewayDown draws no randomness and DropUplink is only consulted
+		// when the gateway is up, so per-node RNG streams are identical
+		// with observability on or off.
+		switch {
+		case s.plan.GatewayDown(now):
+			s.cLostOutage.Inc()
+			n.obsTL.RecordEvent(now, "uplink_lost_outage")
+		case s.plan.DropUplink(n.ID):
+			s.cDroppedBackhaul.Inc()
+			n.obsTL.RecordEvent(now, "uplink_dropped_backhaul")
+		default:
+			reports := n.encodeReports(now, s.cfg.ForecastWindow)
 			s.server.Ingest(n.ID, reports, now, s.cfg.ForecastWindow)
-		}
-		if !s.plan.DropDownlink(n.ID) {
-			rx1 := now.Add(rx1Delay)
-			ackEnd := rx1.Add(n.ackAirtime)
-			for _, gw := range gws {
-				if s.med.ReserveDownlink(gw, rx1, ackEnd) {
-					s.schedule(rx1, evDownlink, nil, nil, nil, gw, ackEnd)
-					s.schedule(ackEnd, evAckDone, n, pkt, nil, 0, 0)
-					return
-				}
+			if s.plan.DuplicateUplink(n.ID) {
+				// Backhaul duplication: the server sees the same packet twice;
+				// idempotent ingestion makes the second delivery a no-op.
+				s.cDuplicated.Inc()
+				s.server.Ingest(n.ID, reports, now, s.cfg.ForecastWindow)
 			}
-			// Every decoding gateway's radio is busy: the data arrived but
-			// the node will never know — it behaves exactly like a
-			// collision.
+			if !s.plan.DropDownlink(n.ID) {
+				rx1 := now.Add(rx1Delay)
+				ackEnd := rx1.Add(n.ackAirtime)
+				for _, gw := range gws {
+					if s.med.ReserveDownlink(gw, rx1, ackEnd) {
+						s.schedule(rx1, evDownlink, nil, nil, nil, gw, ackEnd)
+						s.schedule(ackEnd, evAckDone, n, pkt, nil, 0, 0)
+						return
+					}
+				}
+				// Every decoding gateway's radio is busy: the data arrived but
+				// the node will never know — it behaves exactly like a
+				// collision.
+			} else {
+				// A dropped downlink looks the same from the node: no ACK, so
+				// it retries with the reports still piggy-backed (and the
+				// server's duplicate guard drops the re-ingested copies).
+				s.cDownlinkDropped.Inc()
+				n.obsTL.RecordEvent(now, "downlink_dropped")
+			}
 		}
-		// A dropped downlink looks the same from the node: no ACK, so it
-		// retries with the reports still piggy-backed (and the server's
-		// duplicate guard drops the re-ingested copies).
 	}
 	s.retryOrFail(n, pkt, now)
 }
@@ -534,6 +599,8 @@ func (s *Simulation) brownout(n *Node) {
 	n.pendingTrans = n.pendingTrans[:0]
 	n.Batt.DrainTransitions() // transitions recorded but never reported are gone
 	n.Stats.Brownouts++
+	s.cBrownouts.Inc()
+	n.obsTL.RecordEvent(now, "brownout")
 
 	// Rejoin exchange: one uplink at the node's base settings plus the
 	// receive windows for the join accept.
@@ -601,6 +668,7 @@ func (s *Simulation) finish(n *Node, pkt *packet, delivered bool, now simtime.Ti
 			Delivered: delivered,
 		})
 	}
+	n.obsTL.PacketDone(delivered, pkt.attempts)
 	if s.hooks.OnPacketDone != nil {
 		s.hooks.OnPacketDone(n.ID, delivered, pkt.attempts, pkt.window)
 	}

@@ -96,20 +96,34 @@ func (c *Clock) Sleep(d simtime.Duration) {
 		d = simtime.Millisecond
 	}
 	c.mu.Lock()
+	c.sleepAtLocked(c.now.Add(d))
+}
+
+// SleepUntil blocks the calling worker until the given virtual instant.
+// An instant at or before the current virtual time returns immediately:
+// the caller has already reached t, and sleeping a minimal tick instead
+// (as earlier versions did by delegating to Sleep) pushed a late worker
+// 1 ms further past the requested instant on every catch-up call. The
+// wake-up instant is computed under one lock acquisition, so a worker
+// always wakes at exactly t even if the clock advances concurrently.
+func (c *Clock) SleepUntil(t simtime.Time) {
+	c.mu.Lock()
+	if t <= c.now {
+		c.mu.Unlock()
+		return
+	}
+	c.sleepAtLocked(t)
+}
+
+// sleepAtLocked parks the calling worker until the virtual instant at.
+// Callers must hold c.mu; it is released before blocking.
+func (c *Clock) sleepAtLocked(at simtime.Time) {
 	c.seq++
-	s := sleeper{at: c.now.Add(d), seq: c.seq, ch: make(chan struct{})}
+	s := sleeper{at: at, seq: c.seq, ch: make(chan struct{})}
 	heap.Push(&c.sleepers, s)
 	c.advanceLocked()
 	c.mu.Unlock()
 	<-s.ch
-}
-
-// SleepUntil blocks the calling worker until the given virtual instant.
-func (c *Clock) SleepUntil(t simtime.Time) {
-	c.mu.Lock()
-	d := t.Sub(c.now)
-	c.mu.Unlock()
-	c.Sleep(d)
 }
 
 // advanceLocked releases the earliest sleepers when every live worker is

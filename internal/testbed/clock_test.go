@@ -126,6 +126,49 @@ func TestClockWorkerExitUnblocksOthers(t *testing.T) {
 	}
 }
 
+// TestClockSleepUntilPastInstant is the regression test for the
+// SleepUntil drift bug: an instant at or before virtual now used to
+// degrade into a 1 ms Sleep, pushing the caller past the requested
+// instant — a worker catching up in a SleepUntil loop drifted 1 ms
+// further behind per call. SleepUntil(t <= now) must return immediately
+// and leave the clock untouched.
+func TestClockSleepUntilPastInstant(t *testing.T) {
+	c := NewClock()
+	c.AddWorker()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer c.Done()
+		c.Sleep(10 * simtime.Millisecond)
+		for i := 0; i < 100; i++ {
+			c.SleepUntil(simtime.Time(5 * simtime.Millisecond)) // past
+		}
+		c.SleepUntil(simtime.Time(10 * simtime.Millisecond)) // exactly now
+	}()
+	<-done
+	if got := c.Now(); got != simtime.Time(10*simtime.Millisecond) {
+		t.Errorf("clock drifted to %v after catch-up SleepUntil calls, want 10 ms", got)
+	}
+}
+
+// TestClockSleepUntilExactInstant pins that a future target is reached
+// exactly, with no extra tick.
+func TestClockSleepUntilExactInstant(t *testing.T) {
+	c := NewClock()
+	c.AddWorker()
+	done := make(chan struct{})
+	target := simtime.Time(1234 * simtime.Millisecond)
+	go func() {
+		defer close(done)
+		defer c.Done()
+		c.SleepUntil(target)
+	}()
+	<-done
+	if got := c.Now(); got != target {
+		t.Errorf("woke at %v, want exactly %v", got, target)
+	}
+}
+
 func TestClockNonPositiveSleep(t *testing.T) {
 	c := NewClock()
 	c.AddWorker()

@@ -13,6 +13,7 @@ import (
 	"repro/internal/mac"
 	"repro/internal/metrics"
 	"repro/internal/netserver"
+	"repro/internal/obs"
 	"repro/internal/radio"
 	"repro/internal/sim"
 	"repro/internal/simtime"
@@ -70,6 +71,7 @@ type node struct {
 	extraDrawJ   float64 // radio energy awaiting the next balance chunk
 	pendingTrans []battery.Transition
 	wireBuf      []battery.Report // reused report-encoding buffer
+	obsTL        *obs.NodeTimeline
 }
 
 // Run executes the emulated testbed for the scenario. It reuses the
@@ -78,7 +80,14 @@ type node struct {
 // goroutines under the virtual clock, so run-to-run metric totals may
 // vary slightly when nodes race for the same ACK slot — exactly as on
 // the physical testbed.
-func Run(cfg config.Scenario) (*Result, error) {
+func Run(cfg config.Scenario) (*Result, error) { return RunObserved(cfg, nil) }
+
+// RunObserved is Run with an observability recorder attached. Node
+// timelines are sampled once per sampling cycle at the decision instant.
+// Unlike the simulator, testbed timelines are NOT byte-reproducible:
+// goroutine interleaving under the virtual clock varies run to run, as
+// it would on physical hardware.
+func RunObserved(cfg config.Scenario, rec *obs.Recorder) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -93,7 +102,11 @@ func Run(cfg config.Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	gw := NewGateway(sim.NewMedium(lora.BW125, cfg.Demodulators, 1), server)
+	rec.SetupNodes(cfg.Nodes)
+	server.SetObserver(rec)
+	med := sim.NewMedium(lora.BW125, cfg.Demodulators, 1)
+	med.SetObserver(rec)
+	gw := NewGateway(med, server)
 	clock := NewClock()
 	end := simtime.Time(cfg.Duration)
 
@@ -118,7 +131,7 @@ func Run(cfg config.Scenario) (*Result, error) {
 
 	nodes := make([]*node, cfg.Nodes)
 	for id := range nodes {
-		n, err := buildNode(cfg, id, trace)
+		n, err := buildNode(cfg, id, trace, rec.Node(id))
 		if err != nil {
 			return nil, fmt.Errorf("testbed: node %d: %w", id, err)
 		}
@@ -178,7 +191,7 @@ func Run(cfg config.Scenario) (*Result, error) {
 // buildNode mirrors the simulator's construction for the testbed
 // setting: fixed SF (the paper uses SF10 on one channel), emulated
 // battery, local solar source.
-func buildNode(cfg config.Scenario, id int, trace *energy.YearTrace) (*node, error) {
+func buildNode(cfg config.Scenario, id int, trace *energy.YearTrace, tl *obs.NodeTimeline) (*node, error) {
 	rng := rand.New(rand.NewPCG(cfg.Seed, uint64(id)+0x7e57))
 
 	params := lora.DefaultParams()
@@ -256,6 +269,7 @@ func buildNode(cfg config.Scenario, id int, trace *energy.YearTrace) (*node, err
 			DisableRetxHistory: cfg.DisableRetxHistory,
 			WuTTL:              cfg.Faults.WuTTL,
 			WuStaleFallback:    cfg.Faults.WuStaleFallback,
+			Obs:                tl,
 		}); err != nil {
 			return nil, err
 		}
@@ -280,6 +294,7 @@ func buildNode(cfg config.Scenario, id int, trace *energy.YearTrace) (*node, err
 		// The link is static (fixed placement, deterministic shadowing
 		// draw), so the received power is computed once per node.
 		rxPowerDBm: []float64{cfg.PathLoss.RxPowerDBm(cfg.TxPowerDBm, radioPos(id), uint64(id))},
+		obsTL:      tl,
 	}, nil
 }
 
@@ -306,8 +321,13 @@ func (n *node) run(cfg config.Scenario, clock *Clock, gw *Gateway, end simtime.T
 		}
 		n.integrate(genAt)
 		n.stats.Generated++
+		if n.obsTL != nil {
+			bd := n.batt.Damage(genAt)
+			n.obsTL.Record(genAt, n.batt.SoC(), bd.Calendar, bd.Cycle, bd.Total, len(n.pendingTrans))
+		}
 
 		dec := n.proto.DecideTx(genAt, n.windows, n.batt.Stored())
+		n.obsTL.Decision(dec.Window, dec.Drop)
 		nextGen := genAt.Add(n.period)
 		if dec.Drop {
 			n.stats.NeverSent++
@@ -420,6 +440,7 @@ func (n *node) transmitPacket(cfg config.Scenario, clock *Clock, gw *Gateway,
 			Delivered: delivered,
 		})
 	}
+	n.obsTL.PacketDone(delivered, attempts)
 }
 
 // brownout restarts the node, mirroring the simulator: volatile MAC
@@ -432,6 +453,7 @@ func (n *node) brownout(now simtime.Time, gw *Gateway) {
 	n.pendingTrans = n.pendingTrans[:0]
 	n.batt.DrainTransitions()
 	n.stats.Brownouts++
+	n.obsTL.RecordEvent(now, "brownout")
 	joinE := n.phy.TxEnergy(n.params.SF, joinPayloadBytes) + n.rxEnergyJ
 	n.extraDrawJ += joinE
 	n.stats.TxEnergyJ += joinE
