@@ -20,7 +20,10 @@
 // -maxregress are flagged on stderr and recorded in the "regressions"
 // array; -failregress turns them into a non-zero exit for CI. Timing is
 // not gated by default because ns/op is noisy across machines, but
-// same-machine comparisons can opt in with -nsregress (0 disables).
+// same-machine comparisons can opt in with -nsregress (0 disables); the
+// same threshold then also gates declines in throughput metrics (custom
+// units ending in "/s", e.g. the simulator's sim-days/s, where lower is
+// the regression direction).
 package main
 
 import (
@@ -141,11 +144,11 @@ func main() {
 			rec.Regressions = diffRecords(base, &rec, *maxregress, *nsregress)
 			for _, r := range rec.Regressions {
 				limit := *maxregress
-				if r.Metric == "ns/op" {
+				if r.Metric == "ns/op" || strings.HasSuffix(r.Metric, "/s") {
 					limit = *nsregress
 				}
 				fmt.Fprintf(os.Stderr,
-					"benchjson: REGRESSION %s %s: %.0f -> %.0f (%.2fx, threshold %.2fx vs %s)\n",
+					"benchjson: REGRESSION %s %s: %.4g -> %.4g (%.2fx, threshold %.2fx vs %s)\n",
 					r.Benchmark, r.Metric, r.Baseline, r.Current, r.Ratio, 1+limit, rec.Baseline)
 			}
 		}
@@ -210,15 +213,20 @@ func parseLine(line string) (Benchmark, bool) {
 }
 
 // diffRecords compares every benchmark present in both records (matched
-// by name and CPU count) and returns the metrics that grew past their
-// thresholds. allocs/op and B/op are deterministic and always gated by
-// maxregress; ns/op is too noisy across machines for an unconditional
-// gate, so it is only diffed when nsregress > 0 (same-machine runs).
+// by name and CPU count) and returns the metrics that moved past their
+// thresholds in the regression direction. allocs/op and B/op are
+// deterministic and always gated by maxregress; timing is too noisy
+// across machines for an unconditional gate, so ns/op growth and
+// throughput decline (custom rate metrics, unit ending in "/s") are
+// only diffed when nsregress > 0 (same-machine runs).
 func diffRecords(base, cur *Record, maxregress, nsregress float64) []Regression {
 	type check struct {
 		metric   string
 		old, new float64
 		limit    float64
+		// lowerIsWorse flips the gate for throughput metrics: a decline
+		// below old/(1+limit) is the regression, not growth above it.
+		lowerIsWorse bool
 	}
 	var regs []Regression
 	for i := range cur.Benchmarks {
@@ -228,14 +236,29 @@ func diffRecords(base, cur *Record, maxregress, nsregress float64) []Regression 
 			continue
 		}
 		checks := []check{
-			{"allocs/op", old.AllocsPerOp, b.AllocsPerOp, maxregress},
-			{"B/op", old.BytesPerOp, b.BytesPerOp, maxregress},
+			{metric: "allocs/op", old: old.AllocsPerOp, new: b.AllocsPerOp, limit: maxregress},
+			{metric: "B/op", old: old.BytesPerOp, new: b.BytesPerOp, limit: maxregress},
 		}
 		if nsregress > 0 {
-			checks = append(checks, check{"ns/op", old.NsPerOp, b.NsPerOp, nsregress})
+			checks = append(checks, check{metric: "ns/op", old: old.NsPerOp, new: b.NsPerOp, limit: nsregress})
+			for unit, v := range b.Metrics {
+				if !strings.HasSuffix(unit, "/s") {
+					continue
+				}
+				if ov, ok := old.Metrics[unit]; ok {
+					checks = append(checks, check{metric: unit, old: ov, new: v, limit: nsregress, lowerIsWorse: true})
+				}
+			}
 		}
 		for _, m := range checks {
-			if m.old <= 0 || m.new <= m.old*(1+m.limit) {
+			if m.old <= 0 {
+				continue
+			}
+			if m.lowerIsWorse {
+				if m.new >= m.old/(1+m.limit) {
+					continue
+				}
+			} else if m.new <= m.old*(1+m.limit) {
 				continue
 			}
 			regs = append(regs, Regression{

@@ -135,3 +135,35 @@ func TestLatestRecordPicksNewestOther(t *testing.T) {
 		t.Errorf("empty dir should yield no baseline, got %q", got)
 	}
 }
+
+func TestDiffRecordsGatesThroughputDecline(t *testing.T) {
+	base := &Record{Benchmarks: []Benchmark{{
+		Name: "Sweep1000Nodes", CPUs: 1, NsPerOp: 3e8,
+		Metrics: map[string]float64{"sim-days/s": 3.0, "h50-prr": 0.9},
+	}}}
+	cur := &Record{Benchmarks: []Benchmark{{
+		Name: "Sweep1000Nodes", CPUs: 1, NsPerOp: 3e8,
+		Metrics: map[string]float64{"sim-days/s": 2.0, "h50-prr": 0.5},
+	}}}
+	// Rate metrics ride the same same-machine opt-in as ns/op.
+	if regs := diffRecords(base, cur, 0.10, 0); len(regs) != 0 {
+		t.Errorf("throughput gated with nsregress=0: %+v", regs)
+	}
+	regs := diffRecords(base, cur, 0.10, 0.25)
+	if len(regs) != 1 || regs[0].Metric != "sim-days/s" {
+		t.Fatalf("regressions = %+v, want exactly the sim-days/s decline", regs)
+	}
+	if r := regs[0]; r.Baseline != 3.0 || r.Current != 2.0 {
+		t.Errorf("regression = %+v", r)
+	}
+	// A decline within the threshold, or an improvement, stays quiet —
+	// lower is the regression direction for "/s" units.
+	cur.Benchmarks[0].Metrics["sim-days/s"] = 2.9
+	if regs := diffRecords(base, cur, 0.10, 0.25); len(regs) != 0 {
+		t.Errorf("within-threshold throughput decline flagged: %+v", regs)
+	}
+	cur.Benchmarks[0].Metrics["sim-days/s"] = 9.9
+	if regs := diffRecords(base, cur, 0.10, 0.25); len(regs) != 0 {
+		t.Errorf("throughput improvement flagged: %+v", regs)
+	}
+}

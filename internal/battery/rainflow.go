@@ -80,8 +80,9 @@ type Counter struct {
 
 	stack []float64
 	last  float64
-	dir   int // +1 rising, -1 falling, 0 before the second distinct sample
-	n     int // raw samples seen
+	dir   int    // +1 rising, -1 falling, 0 before the second distinct sample
+	n     int    // raw samples seen
+	rev   uint64 // bumped whenever the pending-cycle state may change
 
 	pendStack []float64 // scratch reused by AppendPending
 }
@@ -91,10 +92,13 @@ func (c *Counter) Push(v float64) {
 	c.n++
 	if c.n == 1 {
 		c.last = v
+		c.rev++
 		return
 	}
 	switch d := sign(v - c.last); {
 	case d == 0:
+		// Same value again: stack, last, and pending cycles are all
+		// unchanged, so the revision is not bumped.
 		return
 	case c.dir == 0:
 		// First direction established: the first sample is the first
@@ -107,7 +111,13 @@ func (c *Counter) Push(v float64) {
 		c.dir = d
 	}
 	c.last = v
+	c.rev++
 }
+
+// Revision returns a counter that changes whenever the pending-cycle
+// state (and therefore any Damage query derived from it) may have
+// changed. It lets callers memoize results on exact inputs.
+func (c *Counter) Revision() uint64 { return c.rev }
 
 func (c *Counter) pushTurningPoint(p float64) {
 	c.stack = extract(c.stack, []float64{p}, c.emit)

@@ -19,6 +19,26 @@ type Tracker struct {
 	closedWeight float64 // sum of eta over retired cycles
 
 	pend []Cycle // scratch reused across Damage queries
+
+	// Exact-input memo of the last Damage query: valid while both the
+	// age operand and the counter revision match exactly. The cached
+	// Breakdown holds the exact floats the full computation produced —
+	// no quantization — so memo hits are bit-identical to recomputing.
+	memoValid bool
+	memoAge   simtime.Duration
+	memoRev   uint64
+	memoOut   Breakdown
+
+	// Aggregate-level memo: raw/meanPhi/weight depend only on the SoC
+	// history, so while the counter revision is unchanged (queries that
+	// differ only in age — every at-capacity charging minute) the pending
+	// cycle walk and the folds below are skipped and the exact cached
+	// floats are reused.
+	aggValid   bool
+	aggRev     uint64
+	aggRaw     float64
+	aggMeanPhi float64
+	aggWeight  float64
 }
 
 // NewTracker returns a tracker using the given degradation model and a
@@ -60,20 +80,32 @@ type Breakdown struct {
 }
 
 // Damage returns the degradation breakdown after the given battery age.
+// Repeated queries with an identical age and an unchanged SoC history
+// (same counter revision) return the memoized breakdown — the
+// simulator's observability sampling, run-end accounting, and gateway
+// recomputations all re-query at instants where nothing moved.
 func (t *Tracker) Damage(age simtime.Duration) Breakdown {
-	raw := t.closedRaw
-	phiSum := t.closedPhiSum
-	weight := t.closedWeight
-	t.pend = t.counter.AppendPending(t.pend[:0])
-	for _, c := range t.pend {
-		raw += c.Count * c.Range * c.Mean
-		phiSum += c.Count * c.Mean
-		weight += c.Count
+	if t.memoValid && age == t.memoAge && t.counter.rev == t.memoRev {
+		return t.memoOut
 	}
-	meanPhi := t.counter.last // no cycles yet: resting SoC dominates
-	if weight > 0 {
-		meanPhi = phiSum / weight
+	if !t.aggValid || t.counter.rev != t.aggRev {
+		raw := t.closedRaw
+		phiSum := t.closedPhiSum
+		weight := t.closedWeight
+		t.pend = t.counter.AppendPending(t.pend[:0])
+		for _, c := range t.pend {
+			raw += c.Count * c.Range * c.Mean
+			phiSum += c.Count * c.Mean
+			weight += c.Count
+		}
+		meanPhi := t.counter.last // no cycles yet: resting SoC dominates
+		if weight > 0 {
+			meanPhi = phiSum / weight
+		}
+		t.aggValid, t.aggRev = true, t.counter.rev
+		t.aggRaw, t.aggMeanPhi, t.aggWeight = raw, meanPhi, weight
 	}
+	raw, meanPhi, weight := t.aggRaw, t.aggMeanPhi, t.aggWeight
 	var b Breakdown
 	b.MeanSoC = meanPhi
 	b.Cycles = weight
@@ -81,6 +113,7 @@ func (t *Tracker) Damage(age simtime.Duration) Breakdown {
 	b.Cycle = t.stress.CycleAgingRaw(raw)
 	b.Linear = b.Calendar + b.Cycle
 	b.Total = t.model.Nonlinear(b.Linear)
+	t.memoValid, t.memoAge, t.memoRev, t.memoOut = true, age, t.counter.rev, b
 	return b
 }
 

@@ -1,0 +1,80 @@
+package battery
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// TestDamageMemoMatchesColdQueries: a tracker queried after every push
+// (the simulator's hot pattern, exercising memo stores, hits, and
+// revision-based invalidation) must answer exactly like a tracker fed
+// the identical SoC history but queried only once — memoization must be
+// invisible bit for bit.
+func TestDamageMemoMatchesColdQueries(t *testing.T) {
+	model := DefaultModel()
+	hot := NewTracker(model, 25)
+	cold := NewTracker(model, 25)
+
+	rng := rand.New(rand.NewPCG(7, 0x5eed))
+	soc := 0.8
+	for i := 0; i < 600; i++ {
+		switch {
+		case i%37 == 0:
+			// Repeated identical samples: pushes that don't change the
+			// counter state must not poison the memo.
+		default:
+			soc = min(1, max(0, soc+(rng.Float64()-0.5)*0.3))
+		}
+		hot.Push(soc)
+		cold.Push(soc)
+
+		age := simtime.Duration(i+1) * simtime.Hour
+		got := hot.Damage(age)
+		if again := hot.Damage(age); again != got {
+			t.Fatalf("step %d: repeated Damage(%v) differs: %+v vs %+v", i, age, again, got)
+		}
+		// Same history, different age: the aggregate memo is reused but
+		// the breakdown must track the new age.
+		_ = hot.Damage(age + simtime.Minute)
+
+		if i%97 == 0 || i == 599 {
+			want := cold.Damage(age)
+			if got != want {
+				t.Fatalf("step %d: hot tracker %+v, cold tracker %+v", i, got, want)
+			}
+		}
+	}
+
+	// Degradation is Damage().Total and must agree too.
+	age := 600 * simtime.Hour
+	if hot.Degradation(age) != cold.Damage(age).Total {
+		t.Fatal("Degradation diverged from Damage().Total across memo states")
+	}
+}
+
+// TestDamageMemoInvalidatedByPush: a state-changing push between two
+// same-age queries must recompute — the cached breakdown may not leak
+// across revisions.
+func TestDamageMemoInvalidatedByPush(t *testing.T) {
+	tr := NewTracker(DefaultModel(), 25)
+	age := 48 * simtime.Hour
+
+	tr.Push(0.9)
+	tr.Push(0.4)
+	tr.Push(0.9)
+	before := tr.Damage(age)
+
+	// A deeper excursion closes a larger cycle; the same-age query must
+	// see it.
+	tr.Push(0.1)
+	tr.Push(0.9)
+	after := tr.Damage(age)
+	if after == before {
+		t.Fatal("Damage unchanged after state-changing pushes — stale memo")
+	}
+	if after.Cycle <= before.Cycle {
+		t.Fatalf("deeper cycling should raise Cycle damage: before %v, after %v", before.Cycle, after.Cycle)
+	}
+}

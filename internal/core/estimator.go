@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+)
 
 // TxEnergyEstimator is the exponentially weighted moving average of
 // per-packet transmission energy, Eq. (13):
@@ -59,9 +63,20 @@ func (e *TxEnergyEstimator) Estimate() float64 { return e.estimate }
 // attempts per window to inflate that window's energy estimate, which
 // steers nodes away from historically crowded windows.
 type RetxHistory struct {
-	maxRetx  int
-	counts   [][]uint32 // counts[window][retx] = I_{r,t}
-	selected []uint32   // S_t
+	maxRetx int
+	windows int
+	// counts is the I_{r,t} matrix flattened row-major: window w's
+	// retransmission counts live in counts[w*(maxRetx+1) : (w+1)*(maxRetx+1)].
+	// One flat allocation keeps the per-packet Observe/Prob touches on a
+	// single contiguous block instead of chasing a row pointer.
+	counts   []uint32
+	selected []uint32 // S_t
+	weighted []uint64 // sum over r of r * counts[window][r], kept incrementally
+	// attempts memoizes ExpectedAttempts per window between observations
+	// (0 = not cached; genuine values are always >= 1). The decision path
+	// queries every window per packet while only the chosen window's
+	// history changes.
+	attempts []float64
 }
 
 // NewRetxHistory returns a history for window indexes [0, windows) and
@@ -73,37 +88,38 @@ func NewRetxHistory(windows, maxRetx int) (*RetxHistory, error) {
 	if maxRetx < 0 {
 		return nil, fmt.Errorf("core: negative max retransmissions %d", maxRetx)
 	}
-	h := &RetxHistory{
+	return &RetxHistory{
 		maxRetx:  maxRetx,
-		counts:   make([][]uint32, windows),
+		windows:  windows,
+		counts:   make([]uint32, windows*(maxRetx+1)),
 		selected: make([]uint32, windows),
-	}
-	for i := range h.counts {
-		h.counts[i] = make([]uint32, maxRetx+1)
-	}
-	return h, nil
+		weighted: make([]uint64, windows),
+		attempts: make([]float64, windows),
+	}, nil
 }
 
 // Windows returns the number of window indexes tracked.
-func (h *RetxHistory) Windows() int { return len(h.counts) }
+func (h *RetxHistory) Windows() int { return h.windows }
 
 // Reset clears all recorded observations (volatile state lost on a node
 // brownout), returning every window to the optimistic no-history prior.
 func (h *RetxHistory) Reset() {
-	for i := range h.counts {
-		clear(h.counts[i])
-	}
+	clear(h.counts)
 	clear(h.selected)
+	clear(h.weighted)
+	clear(h.attempts)
 }
 
 // Observe records that a packet sent in the given window needed the
 // given number of retransmissions. Out-of-range values are clamped, so
 // nodes whose sampling period shrank keep learning.
 func (h *RetxHistory) Observe(window, retx int) {
-	window = clampInt(window, 0, len(h.counts)-1)
-	retx = clampInt(retx, 0, h.maxRetx)
-	h.counts[window][retx]++
+	window = mathx.ClampInt(window, 0, h.windows-1)
+	retx = mathx.ClampInt(retx, 0, h.maxRetx)
+	h.counts[window*(h.maxRetx+1)+retx]++
 	h.selected[window]++
+	h.weighted[window] += uint64(retx)
+	h.attempts[window] = 0
 }
 
 // Prob returns P(retx <= r | window) per Eq. (14): the cumulative
@@ -111,40 +127,44 @@ func (h *RetxHistory) Observe(window, retx int) {
 // no history it returns 1 for any r >= 0 (optimistic prior: no
 // retransmissions expected).
 func (h *RetxHistory) Prob(r, window int) float64 {
-	window = clampInt(window, 0, len(h.counts)-1)
+	window = mathx.ClampInt(window, 0, h.windows-1)
 	if r < 0 {
 		return 0
 	}
-	r = clampInt(r, 0, h.maxRetx)
+	r = mathx.ClampInt(r, 0, h.maxRetx)
 	s := h.selected[window]
 	if s == 0 {
 		return 1
 	}
+	row := h.counts[window*(h.maxRetx+1):]
 	var cum uint32
 	for i := 0; i <= r; i++ {
-		cum += h.counts[window][i]
+		cum += row[i]
 	}
 	return float64(cum) / float64(s)
 }
 
 // ExpectedAttempts returns 1 plus the historical mean retransmission
-// count of the window; the optimistic prior with no history is 1.
+// count of the window; the optimistic prior with no history is 1. The
+// numerator is maintained incrementally by Observe — an integer sum, so
+// it equals the fold over counts exactly.
 func (h *RetxHistory) ExpectedAttempts(window int) float64 {
-	window = clampInt(window, 0, len(h.counts)-1)
+	window = mathx.ClampInt(window, 0, h.windows-1)
+	if a := h.attempts[window]; a != 0 {
+		return a
+	}
 	s := h.selected[window]
 	if s == 0 {
 		return 1
 	}
-	var weighted uint64
-	for r, c := range h.counts[window] {
-		weighted += uint64(r) * uint64(c)
-	}
-	return 1 + float64(weighted)/float64(s)
+	a := 1 + float64(h.weighted[window])/float64(s)
+	h.attempts[window] = a
+	return a
 }
 
 // Selections returns how many packets were observed for the window.
 func (h *RetxHistory) Selections(window int) int {
-	window = clampInt(window, 0, len(h.counts)-1)
+	window = mathx.ClampInt(window, 0, h.windows-1)
 	return int(h.selected[window])
 }
 
@@ -167,14 +187,4 @@ func DIF(estTxJ, forecastGenJ, maxTxJ float64) float64 {
 	}
 	d := (max(estTxJ, forecastGenJ) - forecastGenJ) / maxTxJ
 	return min(1, max(0, d))
-}
-
-func clampInt(v, lo, hi int) int {
-	if v < lo {
-		return lo
-	}
-	if v > hi {
-		return hi
-	}
-	return v
 }

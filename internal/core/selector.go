@@ -69,11 +69,13 @@ type Selector struct {
 
 	// scratch buffers reused across Select calls to keep the decision
 	// path allocation-free on the node.
-	gamma  []float64
-	dif    []float64
-	mu     []float64
-	order  []int
-	cumGen []float64
+	gamma []float64
+	dif   []float64
+	mu    []float64
+	// muN is the window count the mu buffer currently holds values for.
+	// utility.Value(t, n) is a pure function of (t, n), so the per-window
+	// utilities only change when the window count does.
+	muN int
 }
 
 // NewSelector returns a selector with the given utility function and
@@ -95,11 +97,16 @@ func (s *Selector) WeightB() float64 { return s.weightB }
 //
 //	gamma_t = (1 - mu(t)) + w_u * DIF_t * w_b
 //
-// for every forecast window, sorts windows by non-decreasing gamma, and
-// returns the best window whose cumulative energy (stored + forecast
-// generation up to and including the window) covers the estimated
-// transmission energy. If no window is feasible the decision reports
-// FAIL and the packet is dropped.
+// for every forecast window and returns the window with the smallest
+// gamma (earliest window on ties) among those whose cumulative energy
+// (stored + forecast generation up to and including the window) covers
+// the estimated transmission energy. This is exactly the window the
+// reference formulation picks by sorting windows stably by
+// non-decreasing gamma and taking the first feasible one: "first
+// feasible in a stable gamma-ascending order" and "feasible window
+// minimizing (gamma, index)" are the same window, so the sort is
+// unnecessary and selection is a single O(n) pass. If no window is
+// feasible the decision reports FAIL and the packet is dropped.
 func (s *Selector) Select(in Inputs) (Decision, error) {
 	if err := in.Validate(); err != nil {
 		return Decision{}, err
@@ -107,51 +114,33 @@ func (s *Selector) Select(in Inputs) (Decision, error) {
 	n := len(in.ForecastGen)
 	s.resize(n)
 
-	for t := 0; t < n; t++ {
-		mu := s.utility.Value(t, n)
-		d := DIF(in.EstTxEnergy[t], in.ForecastGen[t], in.MaxTxEnergy)
-		s.mu[t] = mu
-		s.dif[t] = d
-		s.gamma[t] = (1 - mu) + in.NormalizedDegradation*d*s.weightB
-		s.order[t] = t
-	}
-
-	// Cumulative available energy through the end of window t.
-	cum := in.StoredEnergy
-	for t := 0; t < n; t++ {
-		cum += max(0, in.ForecastGen[t])
-		s.cumGen[t] = cum
-	}
-
-	// Sort windows by non-decreasing gamma; insertion sort is stable (ties
-	// resolve to the earlier window, which maximizes utility among equals)
-	// and allocation-free for the tens of windows a period contains.
-	for i := 1; i < n; i++ {
-		t := s.order[i]
-		g := s.gamma[t]
-		j := i - 1
-		for j >= 0 && s.gamma[s.order[j]] > g {
-			s.order[j+1] = s.order[j]
-			j--
-		}
-		s.order[j+1] = t
-	}
-
 	// A window whose cumulative energy exactly covers the estimated
 	// transmission cost is feasible: the battery ends the attempt empty
 	// but the transmission is funded (Algorithm 1's psi + sum E_g >= e_tx).
-	for _, t := range s.order {
-		if s.cumGen[t]-in.EstTxEnergy[t] >= 0 {
-			return Decision{
-				OK:        true,
-				Window:    t,
-				Objective: s.gamma[t],
-				DIF:       s.dif[t],
-				Utility:   s.mu[t],
-			}, nil
+	best := -1
+	var bestG float64
+	cum := in.StoredEnergy
+	for t := 0; t < n; t++ {
+		gen := in.ForecastGen[t]
+		cum += max(0, gen)
+		d := DIF(in.EstTxEnergy[t], gen, in.MaxTxEnergy)
+		s.dif[t] = d
+		g := (1 - s.mu[t]) + in.NormalizedDegradation*d*s.weightB
+		s.gamma[t] = g
+		if cum-in.EstTxEnergy[t] >= 0 && (best < 0 || g < bestG) {
+			best, bestG = t, g
 		}
 	}
-	return Decision{}, nil
+	if best < 0 {
+		return Decision{}, nil
+	}
+	return Decision{
+		OK:        true,
+		Window:    best,
+		Objective: s.gamma[best],
+		DIF:       s.dif[best],
+		Utility:   s.mu[best],
+	}, nil
 }
 
 func (s *Selector) resize(n int) {
@@ -159,13 +148,16 @@ func (s *Selector) resize(n int) {
 		s.gamma = make([]float64, n)
 		s.dif = make([]float64, n)
 		s.mu = make([]float64, n)
-		s.order = make([]int, n)
-		s.cumGen = make([]float64, n)
-		return
+		s.muN = 0
+	} else {
+		s.gamma = s.gamma[:n]
+		s.dif = s.dif[:n]
+		s.mu = s.mu[:n]
 	}
-	s.gamma = s.gamma[:n]
-	s.dif = s.dif[:n]
-	s.mu = s.mu[:n]
-	s.order = s.order[:n]
-	s.cumGen = s.cumGen[:n]
+	if s.muN != n {
+		for t := 0; t < n; t++ {
+			s.mu[t] = s.utility.Value(t, n)
+		}
+		s.muN = n
+	}
 }

@@ -2,6 +2,7 @@ package energy
 
 import (
 	"math/rand/v2"
+	"sync"
 
 	"repro/internal/simtime"
 )
@@ -13,7 +14,9 @@ import (
 // harvested.
 type Forecaster interface {
 	// ForecastWindows predicts the energy in joules harvested in each of
-	// n consecutive windows of length window starting at t.
+	// n consecutive windows of length window starting at t. The returned
+	// slice may be the forecaster's internal buffer, overwritten by the
+	// next ForecastWindows call: callers must not retain it.
 	ForecastWindows(t simtime.Time, window simtime.Duration, n int) []float64
 	// Observe records that energyJ joules were actually harvested during
 	// [from, to), so learning forecasters can adapt.
@@ -25,13 +28,15 @@ type Forecaster interface {
 // ablation experiments.
 type Perfect struct {
 	Source Source
+
+	buf []float64 // reused across ForecastWindows calls
 }
 
 var _ Forecaster = (*Perfect)(nil)
 
 // ForecastWindows implements Forecaster.
 func (p *Perfect) ForecastWindows(t simtime.Time, window simtime.Duration, n int) []float64 {
-	out := make([]float64, n)
+	out := p.reserve(n)
 	for i := range out {
 		from := t.Add(simtime.Duration(i) * window)
 		out[i] = p.Source.Energy(from, from.Add(window))
@@ -41,6 +46,14 @@ func (p *Perfect) ForecastWindows(t simtime.Time, window simtime.Duration, n int
 
 // Observe implements Forecaster; the oracle has nothing to learn.
 func (p *Perfect) Observe(simtime.Time, simtime.Time, float64) {}
+
+func (p *Perfect) reserve(n int) []float64 {
+	if cap(p.buf) < n {
+		p.buf = make([]float64, n)
+	}
+	p.buf = p.buf[:n]
+	return p.buf
+}
 
 // Noisy wraps the oracle with multiplicative Gaussian error of the given
 // relative standard deviation, for forecast-quality ablations.
@@ -85,6 +98,7 @@ type DiurnalEWMA struct {
 	alpha   float64
 	profile [minutesPerDay]float64
 	seen    [minutesPerDay]bool
+	buf     []float64 // reused across ForecastWindows calls
 }
 
 var _ Forecaster = (*DiurnalEWMA)(nil)
@@ -111,6 +125,21 @@ func (f *DiurnalEWMA) Observe(from, to simtime.Time, energyJ float64) {
 		return
 	}
 	const minuteT = simtime.Time(simtime.Minute)
+	if from >= 0 && from%minuteT == 0 && to-from == minuteT {
+		// Fast path for the integrator's dominant call shape: exactly
+		// one full slot. Weight is exactly 1 (so a == alpha) and the
+		// observation length is exactly 60 s; both expressions below are
+		// bit-identical to the general path.
+		slot := int(int64(from/minuteT) % minutesPerDay)
+		power := energyJ / 60.0
+		if !f.seen[slot] {
+			f.profile[slot] = power
+			f.seen[slot] = true
+			return
+		}
+		f.profile[slot] = f.alpha*power + (1-f.alpha)*f.profile[slot]
+		return
+	}
 	obsLen := to.Sub(from)
 	power := energyJ / obsLen.Seconds()
 	denom := obsLen
@@ -142,21 +171,80 @@ func (f *DiurnalEWMA) Observe(from, to simtime.Time, energyJ float64) {
 	}
 }
 
-// ForecastWindows implements Forecaster.
+// ObserveFullSlot folds a whole-minute observation into the given
+// minute-of-day slot. It is the Observe fast path with the slot index
+// already computed by the caller (the node integrator tracks the minute
+// cursor anyway) and performs the identical arithmetic.
+func (f *DiurnalEWMA) ObserveFullSlot(slot int, energyJ float64) {
+	power := energyJ / 60.0
+	if !f.seen[slot] {
+		f.profile[slot] = power
+		f.seen[slot] = true
+		return
+	}
+	f.profile[slot] = f.alpha*power + (1-f.alpha)*f.profile[slot]
+}
+
+// ForecastWindows implements Forecaster. Consecutive windows are walked
+// with one running minute cursor; whole interior minutes use the exact
+// constant 60 s instead of re-deriving it by division (a full simulated
+// minute is exactly 60.0 seconds, so the result is bit-identical).
 func (f *DiurnalEWMA) ForecastWindows(t simtime.Time, window simtime.Duration, n int) []float64 {
-	out := make([]float64, n)
+	if cap(f.buf) < n {
+		f.buf = make([]float64, n)
+	}
+	f.buf = f.buf[:n]
+	out := f.buf
+	const minuteT = simtime.Time(simtime.Minute)
+	if window == simtime.Minute && t >= 0 {
+		// One-minute windows (the paper's configuration) tile the slot
+		// grid with a fixed offset: every window splits into the same
+		// head/tail fractions of two adjacent slots, so the boundary
+		// seconds are computed once. An aligned window is exactly one
+		// slot. Both shapes produce the sums of the general loop below
+		// term for term.
+		minute := int64(t / minuteT)
+		slot := int(minute % minutesPerDay)
+		if t == simtime.Time(minute)*minuteT {
+			for i := range out {
+				out[i] = f.profile[slot] * 60.0
+				slot++
+				if slot == minutesPerDay {
+					slot = 0
+				}
+			}
+			return out
+		}
+		head := (simtime.Time(minute+1) * minuteT).Sub(t).Seconds()
+		tail := t.Sub(simtime.Time(minute) * minuteT).Seconds()
+		for i := range out {
+			next := slot + 1
+			if next == minutesPerDay {
+				next = 0
+			}
+			out[i] = f.profile[slot]*head + f.profile[next]*tail
+			slot = next
+		}
+		return out
+	}
 	for i := range out {
 		from := t.Add(simtime.Duration(i) * window)
 		to := from.Add(window)
 		var joules float64
 		cursor := from
-		minute := int64(from / simtime.Time(simtime.Minute))
+		minute := int64(from / minuteT)
 		for cursor < to {
-			next := simtime.Time(minute+1) * simtime.Time(simtime.Minute)
-			if next > to {
-				next = to
+			next := simtime.Time(minute+1) * minuteT
+			var secs float64
+			if next <= to && cursor == simtime.Time(minute)*minuteT {
+				secs = 60.0
+			} else {
+				if next > to {
+					next = to
+				}
+				secs = next.Sub(cursor).Seconds()
 			}
-			joules += f.profile[int(minute%minutesPerDay)] * next.Sub(cursor).Seconds()
+			joules += f.profile[int(minute%minutesPerDay)] * secs
 			cursor = next
 			minute++
 		}
@@ -165,10 +253,108 @@ func (f *DiurnalEWMA) ForecastWindows(t simtime.Time, window simtime.Duration, n
 	return out
 }
 
+// primeKey identifies a primed profile exactly: a nodeSource is a pure
+// function of its trace config and node parameters, so two Prime calls
+// with equal keys fold the identical power sequence and land on
+// bit-identical profiles.
+type primeKey struct {
+	cfg       SolarConfig
+	nodeID    uint64
+	peakW     float64
+	variation float64
+	alpha     float64
+	days      int
+}
+
+// primeCache shares primed profiles across runs in one process. The
+// experiment engine replays the same scenario seeds across protocol
+// variants and sweep points (common random numbers), so every run after
+// the first re-primes the exact same per-node profiles; a hit replaces
+// ~days×1440 EWMA folds with one array copy of the identical bytes.
+// Insertion stops at primeCacheMax entries (≈12 KB each) — a bound, not
+// an eviction policy, so hits stay deterministic in long processes.
+var primeCache = struct {
+	sync.Mutex
+	m map[primeKey]*[minutesPerDay]float64
+}{m: make(map[primeKey]*[minutesPerDay]float64)}
+
+const primeCacheMax = 4096
+
 // Prime trains the profile by replaying the source for the given number
 // of days before deployment, emulating the paper's offline training at
-// the gateway.
+// the gateway. A MinuteSource is consumed through its per-minute cache:
+// each training observation is exactly one full slot, so the inlined
+// update below is the Observe fast path with the same bit-exact
+// energy = power·60 s, power = energy/60 s round trip.
 func (f *DiurnalEWMA) Prime(src Source, days int) {
+	if ns, ok := src.(*nodeSource); ok {
+		// The cache is only sound for a pristine profile (the cached
+		// result assumes the fold started from the untrained state).
+		pristine := days > 0
+		for m := 0; pristine && m < minutesPerDay; m++ {
+			pristine = !f.seen[m]
+		}
+		var key primeKey
+		if pristine {
+			key = primeKey{
+				cfg:       ns.trace.cfg,
+				nodeID:    ns.nodeID,
+				peakW:     ns.peakW,
+				variation: ns.variation,
+				alpha:     f.alpha,
+				days:      days,
+			}
+			primeCache.Lock()
+			cached := primeCache.m[key]
+			primeCache.Unlock()
+			if cached != nil {
+				f.profile = *cached
+				for m := range f.seen {
+					f.seen[m] = true
+				}
+				return
+			}
+		}
+		// In-package fast path: walk each training day's cached minute
+		// powers directly instead of going through the interface.
+		for d := 0; d < days; d++ {
+			ns.ensureDay(int64(d))
+			mp := ns.minuteP
+			for m := 0; m < minutesPerDay; m++ {
+				power := (mp[m] * 60.0) / 60.0
+				if !f.seen[m] {
+					f.profile[m] = power
+					f.seen[m] = true
+					continue
+				}
+				f.profile[m] = f.alpha*power + (1-f.alpha)*f.profile[m]
+			}
+		}
+		if pristine {
+			out := f.profile
+			primeCache.Lock()
+			if len(primeCache.m) < primeCacheMax {
+				primeCache.m[key] = &out
+			}
+			primeCache.Unlock()
+		}
+		return
+	}
+	if ms, ok := src.(MinuteSource); ok {
+		for d := 0; d < days; d++ {
+			base := int64(d) * minutesPerDay
+			for m := 0; m < minutesPerDay; m++ {
+				power := (ms.MinutePower(base+int64(m)) * 60.0) / 60.0
+				if !f.seen[m] {
+					f.profile[m] = power
+					f.seen[m] = true
+					continue
+				}
+				f.profile[m] = f.alpha*power + (1-f.alpha)*f.profile[m]
+			}
+		}
+		return
+	}
 	for d := 0; d < days; d++ {
 		for m := 0; m < minutesPerDay; m++ {
 			from := simtime.Time(d*minutesPerDay+m) * simtime.Time(simtime.Minute)

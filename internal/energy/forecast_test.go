@@ -97,13 +97,15 @@ func TestDiurnalEWMATracksDiurnalShape(t *testing.T) {
 	f.Prime(src, 20)
 
 	day := simtime.Time(20 * simtime.Day)
+	// The returned slice is the forecaster's reusable buffer, so each
+	// forecast is checked before requesting the next one.
 	night := f.ForecastWindows(day.Add(2*simtime.Hour), simtime.Minute, 5)
-	noon := f.ForecastWindows(day.Add(12*simtime.Hour), simtime.Minute, 5)
 	for i, g := range night {
 		if g != 0 {
 			t.Errorf("night forecast[%d] = %v, want 0", i, g)
 		}
 	}
+	noon := f.ForecastWindows(day.Add(12*simtime.Hour), simtime.Minute, 5)
 	var noonSum float64
 	for _, g := range noon {
 		noonSum += g

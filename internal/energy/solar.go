@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync"
 
 	"repro/internal/simtime"
 )
@@ -19,6 +20,24 @@ type Source interface {
 	Power(t simtime.Time) float64
 	// Energy returns the energy in joules harvested during [from, to).
 	Energy(from, to simtime.Time) float64
+}
+
+// MinuteSource is implemented by sources that can answer per-minute
+// queries in O(1) from a precomputed cache. MinutePower(m) is
+// bit-identical to Power anywhere inside minute m, and
+// MinutePower(m) * 60.0 is bit-identical to Energy over the full
+// minute — the contract the node integrator and forecaster priming
+// fast paths rely on.
+type MinuteSource interface {
+	Source
+	// MinutePower returns the harvested power in watts during the
+	// absolute minute [m·1min, (m+1)·1min).
+	MinutePower(minute int64) float64
+	// DayPowers returns the per-minute powers of the given simulated
+	// day, indexed by minute-of-day. The returned slice is the source's
+	// internal cache: it is read-only and valid only until the next
+	// call into the source.
+	DayPowers(day int64) []float64
 }
 
 // minutesPerYear is the resolution of the base trace: one sample per
@@ -84,15 +103,73 @@ func (c SolarConfig) Validate() error {
 type YearTrace struct {
 	cfg     SolarConfig
 	samples []float32
+	// yearFactor memoizes the per-year variability factor of At for the
+	// first precomputedYears years; later years (beyond any plausible
+	// simulation horizon) fall back to hashing on demand.
+	yearFactor []float64
 }
 
+// precomputedYears bounds the memoized year-variability table; the
+// simulator caps runs at a few decades, so 64 years covers every query.
+const precomputedYears = 64
+
+// traceCache shares YearTrace construction across simulations: the
+// trace is immutable and fully determined by its config, so every
+// variant of a sweep (and every iteration of a benchmark) can reuse the
+// same object instead of re-synthesizing 525600 samples. Bounded to a
+// handful of configs; eviction is oldest-first.
+var traceCache struct {
+	sync.Mutex
+	entries map[SolarConfig]*YearTrace
+	order   []SolarConfig
+}
+
+const traceCacheMax = 8
+
 // NewYearTrace synthesizes the deployment-wide trace. The construction is
-// deterministic in the config.
+// deterministic in the config; identical configs may share one cached
+// immutable trace.
 func NewYearTrace(cfg SolarConfig) (*YearTrace, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	traceCache.Lock()
+	if yt, ok := traceCache.entries[cfg]; ok {
+		traceCache.Unlock()
+		return yt, nil
+	}
+	traceCache.Unlock()
+	yt, err := synthesizeYearTrace(cfg)
+	if err != nil {
+		return nil, err
+	}
+	traceCache.Lock()
+	if traceCache.entries == nil {
+		traceCache.entries = make(map[SolarConfig]*YearTrace)
+	}
+	if cached, ok := traceCache.entries[cfg]; ok {
+		// Another goroutine synthesized the same config concurrently;
+		// both results are identical, keep the first.
+		yt = cached
+	} else {
+		if len(traceCache.order) >= traceCacheMax {
+			delete(traceCache.entries, traceCache.order[0])
+			traceCache.order = traceCache.order[1:]
+		}
+		traceCache.entries[cfg] = yt
+		traceCache.order = append(traceCache.order, cfg)
+	}
+	traceCache.Unlock()
+	return yt, nil
+}
+
+func synthesizeYearTrace(cfg SolarConfig) (*YearTrace, error) {
 	yt := &YearTrace{cfg: cfg, samples: make([]float32, minutesPerYear)}
+	yt.yearFactor = make([]float64, precomputedYears)
+	yt.yearFactor[0] = 1
+	for y := 1; y < precomputedYears; y++ {
+		yt.yearFactor[y] = 0.92 + 0.16*hash01(cfg.Seed, uint64(y), 0x9e77)
+	}
 	rng := rand.New(rand.NewPCG(cfg.Seed, 0x501a7))
 
 	state := weatherClear
@@ -159,8 +236,13 @@ func (yt *YearTrace) At(minute int64) float64 {
 	if year == 0 {
 		return base
 	}
-	// Year-to-year variability of +-8%.
-	f := 0.92 + 0.16*hash01(yt.cfg.Seed, uint64(year), 0x9e77)
+	// Year-to-year variability of +-8%, memoized per year.
+	var f float64
+	if year < int64(len(yt.yearFactor)) {
+		f = yt.yearFactor[year]
+	} else {
+		f = 0.92 + 0.16*hash01(yt.cfg.Seed, uint64(year), 0x9e77)
+	}
 	return min(1, base*f)
 }
 
@@ -180,6 +262,8 @@ func (yt *YearTrace) NodeSource(nodeID int, peakW, variation float64) Source {
 		nodeID:    uint64(nodeID),
 		peakW:     peakW,
 		variation: min(1, max(0, variation)),
+		cacheDay:  -1,
+		prefixDay: -1,
 	}
 }
 
@@ -188,9 +272,129 @@ type nodeSource struct {
 	nodeID    uint64
 	peakW     float64
 	variation float64
+
+	// Rolling one-day harvest cache (see DESIGN.md "Harvest prefix
+	// cache"): minuteP holds the harvested power of every minute of
+	// cacheDay, computed with exactly the per-minute expression the
+	// straightforward loop uses, and prefix holds the running sums of
+	// the per-minute energies (minuteP[m] * 60 s). The cache is built
+	// lazily once per simulated day; the simulator advances through
+	// days monotonically, so one day of state is enough.
+	cacheDay int64
+	minuteP  []float64 // len minutesPerDay
+	// prefix is derived from minuteP on demand (prefixDay tracks which
+	// day it currently matches): only long Energy queries need it, so
+	// the per-minute fills that dominate priming and node integration
+	// skip the running-sum work entirely.
+	prefixDay int64
+	prefix    []float64 // len minutesPerDay+1, prefix[m] = sum of first m minute energies
 }
 
-var _ Source = (*nodeSource)(nil)
+var _ MinuteSource = (*nodeSource)(nil)
+
+// prefixSpanMinutes is the number of whole minutes an Energy query must
+// cover before the prefix-difference shortcut is taken. Shorter spans
+// sum the cached per-minute energies sequentially, which reproduces the
+// pre-cache loop bit for bit (floating-point addition is not
+// associative, so a prefix difference may differ in the last ulp).
+// Every hot-path query — node integration, forecaster observation, and
+// the default 1-minute forecast windows — covers at most one whole
+// minute and therefore always takes the exact path.
+const prefixSpanMinutes = 16
+
+// ensureDay (re)fills the rolling cache for the given simulated day.
+func (s *nodeSource) ensureDay(day int64) {
+	if s.cacheDay == day {
+		return
+	}
+	if s.minuteP == nil {
+		s.minuteP = make([]float64, minutesPerDay)
+	}
+	base := day * minutesPerDay
+	// A day never straddles a year boundary (the year is a whole number
+	// of days), so the base-trace samples and the year factor are fixed
+	// for the whole fill; reading them directly inlines YearTrace.At.
+	year := base / minutesPerYear
+	samples := s.trace.samples[base%minutesPerYear : base%minutesPerYear+minutesPerDay]
+	var f float64
+	if year > 0 {
+		if year < int64(len(s.trace.yearFactor)) {
+			f = s.trace.yearFactor[year]
+		} else {
+			f = 0.92 + 0.16*hash01(s.trace.cfg.Seed, uint64(year), 0x9e77)
+		}
+	}
+	// The fill is split by (variation, year) so the inner loops carry no
+	// per-minute branches; every variant evaluates the same expression
+	// peakW * at * lf in the same order as the one-minute query path.
+	switch {
+	case s.variation == 0 && year == 0:
+		for m := 0; m < minutesPerDay; m++ {
+			s.minuteP[m] = s.peakW * float64(samples[m]) * 1.0
+		}
+	case s.variation == 0:
+		for m := 0; m < minutesPerDay; m++ {
+			s.minuteP[m] = s.peakW * min(1, float64(samples[m])*f) * 1.0
+		}
+	default:
+		// localFactor is constant over 4-minute blocks; day boundaries
+		// are block-aligned, so one hash serves four minutes.
+		seed := s.trace.cfg.Seed
+		nid := s.nodeID + 0x5bd1e995
+		block := uint64(base >> 2)
+		for m := 0; m < minutesPerDay; m += 4 {
+			lf := 1 + s.variation*(2*hash01(seed, nid, block)-1)
+			block++
+			if year == 0 {
+				s.minuteP[m] = s.peakW * float64(samples[m]) * lf
+				s.minuteP[m+1] = s.peakW * float64(samples[m+1]) * lf
+				s.minuteP[m+2] = s.peakW * float64(samples[m+2]) * lf
+				s.minuteP[m+3] = s.peakW * float64(samples[m+3]) * lf
+			} else {
+				s.minuteP[m] = s.peakW * min(1, float64(samples[m])*f) * lf
+				s.minuteP[m+1] = s.peakW * min(1, float64(samples[m+1])*f) * lf
+				s.minuteP[m+2] = s.peakW * min(1, float64(samples[m+2])*f) * lf
+				s.minuteP[m+3] = s.peakW * min(1, float64(samples[m+3])*f) * lf
+			}
+		}
+	}
+	s.cacheDay = day
+}
+
+// ensurePrefix derives the running-sum table for the cached day. The
+// sums accumulate minuteP[m] * 60 s in minute order, so a prefix
+// difference equals the sequential fold over the same minutes up to
+// non-associativity of the two subtractions.
+func (s *nodeSource) ensurePrefix(day int64) {
+	s.ensureDay(day)
+	if s.prefixDay == day {
+		return
+	}
+	if s.prefix == nil {
+		s.prefix = make([]float64, minutesPerDay+1)
+	}
+	var cum float64
+	for m := 0; m < minutesPerDay; m++ {
+		cum += s.minuteP[m] * 60.0
+		s.prefix[m+1] = cum
+	}
+	s.prefixDay = day
+}
+
+// MinutePower implements MinuteSource.
+func (s *nodeSource) MinutePower(minute int64) float64 {
+	if minute < 0 {
+		return 0
+	}
+	s.ensureDay(minute / minutesPerDay)
+	return s.minuteP[minute%minutesPerDay]
+}
+
+// DayPowers implements MinuteSource.
+func (s *nodeSource) DayPowers(day int64) []float64 {
+	s.ensureDay(day)
+	return s.minuteP
+}
 
 // localFactor returns the node's multiplicative deviation for a 4-minute
 // block (blocks give local clouds a short coherence time).
@@ -210,25 +414,71 @@ func (s *nodeSource) Power(t simtime.Time) float64 {
 	return s.peakW * s.trace.At(minute) * s.localFactor(minute)
 }
 
+// Energy answers interval queries from the rolling day cache: partial
+// minutes and short spans sum the cached per-minute powers in the same
+// order as the original minute loop (bit-identical), while spans
+// covering at least prefixSpanMinutes whole minutes within one day
+// collapse to an O(1) prefix difference.
 func (s *nodeSource) Energy(from, to simtime.Time) float64 {
 	if to <= from {
 		return 0
 	}
 	if from < 0 {
 		from = 0
+		if to <= from {
+			return 0
+		}
 	}
+	const minuteT = simtime.Time(simtime.Minute)
 	var total float64
-	minute := int64(from / simtime.Time(simtime.Minute))
+	minute := int64(from / minuteT)
 	cursor := from
 	for cursor < to {
-		next := simtime.Time(minute+1) * simtime.Time(simtime.Minute)
-		if next > to {
-			next = to
+		day := minute / minutesPerDay
+		s.ensureDay(day)
+		m := int(minute % minutesPerDay)
+
+		// This iteration covers the part of [cursor, to) that lies in
+		// the cached day.
+		segEnd := to
+		if dayEnd := simtime.Time(day+1) * minutesPerDay * minuteT; dayEnd < segEnd {
+			segEnd = dayEnd
 		}
-		p := s.peakW * s.trace.At(minute) * s.localFactor(minute)
-		total += p * next.Sub(cursor).Seconds()
-		cursor = next
-		minute++
+
+		if next := simtime.Time(minute+1) * minuteT; next >= segEnd {
+			// The segment is contained in a single minute (possibly the
+			// exact full minute).
+			total += s.minuteP[m] * segEnd.Sub(cursor).Seconds()
+			cursor = segEnd
+			minute = int64(segEnd / minuteT)
+			continue
+		} else if cursor != simtime.Time(minute)*minuteT {
+			// Head partial minute.
+			total += s.minuteP[m] * next.Sub(cursor).Seconds()
+			cursor = next
+			minute++
+			m++
+		}
+
+		// Whole minutes, then an optional tail partial minute.
+		if nFull := int(int64(segEnd/minuteT) - minute); nFull > 0 {
+			if nFull < prefixSpanMinutes {
+				for i := 0; i < nFull; i++ {
+					total += s.minuteP[m+i] * 60.0
+				}
+			} else {
+				s.ensurePrefix(day)
+				total += s.prefix[m+nFull] - s.prefix[m]
+			}
+			minute += int64(nFull)
+			m += nFull
+			cursor = simtime.Time(minute) * minuteT
+		}
+		if cursor < segEnd {
+			total += s.minuteP[m] * segEnd.Sub(cursor).Seconds()
+			cursor = segEnd
+			minute++
+		}
 	}
 	return total
 }

@@ -1,0 +1,26 @@
+// Package mathx holds the tiny numeric helpers shared across the
+// simulator and protocol packages, so each package stops carrying its
+// own copy.
+package mathx
+
+// ClampInt limits v to [lo, hi].
+func ClampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// MaxOf returns the largest element of xs; it panics on an empty slice.
+func MaxOf(xs []float64) float64 {
+	best := xs[0]
+	for _, x := range xs[1:] {
+		if x > best {
+			best = x
+		}
+	}
+	return best
+}

@@ -224,25 +224,47 @@ func (b Box) String() string {
 }
 
 // Histogram counts integer-keyed occurrences (e.g. packets per forecast
-// window index).
+// window index). The expected keys are small non-negative indexes, so
+// counts live in a dense slice grown on demand; negative buckets (not
+// produced by any current caller, but part of the int-keyed contract)
+// fall back to a lazily allocated map.
 type Histogram struct {
-	counts map[int]int64
-	total  int64
+	dense []int64
+	neg   map[int]int64 // nil until a negative bucket appears
+	total int64
 }
 
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram {
-	return &Histogram{counts: make(map[int]int64)}
+	return &Histogram{}
 }
 
 // Add increments the bucket.
 func (h *Histogram) Add(bucket int) {
-	h.counts[bucket]++
 	h.total++
+	if bucket >= 0 {
+		for bucket >= len(h.dense) {
+			h.dense = append(h.dense, 0)
+		}
+		h.dense[bucket]++
+		return
+	}
+	if h.neg == nil {
+		h.neg = make(map[int]int64)
+	}
+	h.neg[bucket]++
 }
 
 // Count returns the bucket's count.
-func (h *Histogram) Count(bucket int) int64 { return h.counts[bucket] }
+func (h *Histogram) Count(bucket int) int64 {
+	if bucket >= 0 {
+		if bucket < len(h.dense) {
+			return h.dense[bucket]
+		}
+		return 0
+	}
+	return h.neg[bucket]
+}
 
 // Total returns the number of samples.
 func (h *Histogram) Total() int64 { return h.total }
@@ -254,8 +276,13 @@ func (h *Histogram) Mode() (int, bool) {
 		return 0, false
 	}
 	best, bestCount := 0, int64(-1)
-	for b, c := range h.counts {
-		if c > bestCount || (c == bestCount && b < best) {
+	for b, c := range h.neg {
+		if c > 0 && (c > bestCount || (c == bestCount && b < best)) {
+			best, bestCount = b, c
+		}
+	}
+	for b, c := range h.dense {
+		if c > 0 && (c > bestCount || (c == bestCount && b < best)) {
 			best, bestCount = b, c
 		}
 	}
@@ -264,9 +291,14 @@ func (h *Histogram) Mode() (int, bool) {
 
 // Buckets returns the sorted bucket indexes present.
 func (h *Histogram) Buckets() []int {
-	out := make([]int, 0, len(h.counts))
-	for b := range h.counts {
+	out := make([]int, 0, len(h.dense)+len(h.neg))
+	for b := range h.neg {
 		out = append(out, b)
+	}
+	for b, c := range h.dense {
+		if c > 0 {
+			out = append(out, b)
+		}
 	}
 	sort.Ints(out)
 	return out

@@ -33,7 +33,11 @@ type Server struct {
 	tempC    float64
 	interval simtime.Duration
 
-	nodes map[int]*nodeState
+	// nodes is indexed by node ID (IDs are small and dense in every
+	// deployment this server sees); nil slots are unregistered. numNodes
+	// counts the non-nil slots.
+	nodes    []*nodeState
+	numNodes int
 
 	// Recomputes align to a fixed grid anchored at the first compute,
 	// so a late call (e.g. after a gateway outage) does not permanently
@@ -89,20 +93,37 @@ func New(model battery.Model, tempC float64, interval simtime.Duration) (*Server
 		model:    model,
 		tempC:    tempC,
 		interval: interval,
-		nodes:    make(map[int]*nodeState),
 	}, nil
 }
 
 // Register adds a node with its initial state of charge. Registering an
-// existing node resets its history.
+// existing node resets its history. Negative IDs are rejected (the
+// dense index has no slot for them).
 func (s *Server) Register(nodeID int, initialSoC float64) {
+	if nodeID < 0 {
+		return
+	}
 	st := &nodeState{
 		tracker:      battery.NewTracker(s.model, s.tempC),
 		lastPacketAt: noneYet,
 		lastReportAt: noneYet,
 	}
 	st.tracker.Push(initialSoC)
+	for nodeID >= len(s.nodes) {
+		s.nodes = append(s.nodes, nil)
+	}
+	if s.nodes[nodeID] == nil {
+		s.numNodes++
+	}
 	s.nodes[nodeID] = st
+}
+
+// state returns the node's state or nil when unregistered.
+func (s *Server) state(nodeID int) *nodeState {
+	if nodeID < 0 || nodeID >= len(s.nodes) {
+		return nil
+	}
+	return s.nodes[nodeID]
 }
 
 // Rejoin re-admits a node after a restart (e.g. a brownout) with its
@@ -112,8 +133,8 @@ func (s *Server) Register(nodeID int, initialSoC float64) {
 // retransmitted from before the restart remain deduplicated. Unknown
 // nodes fall back to a fresh registration.
 func (s *Server) Rejoin(nodeID int, currentSoC float64) {
-	st, ok := s.nodes[nodeID]
-	if !ok {
+	st := s.state(nodeID)
+	if st == nil {
 		s.Register(nodeID, currentSoC)
 		return
 	}
@@ -121,7 +142,7 @@ func (s *Server) Rejoin(nodeID int, currentSoC float64) {
 }
 
 // NumNodes returns how many nodes are registered.
-func (s *Server) NumNodes() int { return len(s.nodes) }
+func (s *Server) NumNodes() int { return s.numNodes }
 
 // Ingest folds a decoded packet's transition reports into the node's
 // reconstructed SoC trace. packetAt is the packet's reception time and
@@ -138,8 +159,8 @@ func (s *Server) NumNodes() int { return len(s.nodes) }
 // fixed while one packet is processed, so several same-window
 // transitions inside a single packet all pass.
 func (s *Server) Ingest(nodeID int, reports []battery.Report, packetAt simtime.Time, window simtime.Duration) {
-	st, ok := s.nodes[nodeID]
-	if !ok {
+	st := s.state(nodeID)
+	if st == nil {
 		return
 	}
 	if packetAt <= st.lastPacketAt {
@@ -188,10 +209,16 @@ func (s *Server) recompute(now simtime.Time) {
 	s.nextDue = s.firstCompute.Add(simtime.Duration(slots) * s.interval)
 	var dmax float64
 	for _, st := range s.nodes {
+		if st == nil {
+			continue
+		}
 		st.degr = st.tracker.Degradation(simtime.Duration(now))
 		dmax = math.Max(dmax, st.degr)
 	}
 	for _, st := range s.nodes {
+		if st == nil {
+			continue
+		}
 		wu := 0.0
 		if dmax > 0 {
 			wu = st.degr / dmax
@@ -215,8 +242,8 @@ func DequantizeWu(b byte) float64 { return float64(b) / 255 }
 // NormalizedDegradation returns the node's latest w_u as the node will
 // receive it: quantized to 1/255 steps (the 1-byte ACK piggyback).
 func (s *Server) NormalizedDegradation(nodeID int) float64 {
-	st, ok := s.nodes[nodeID]
-	if !ok {
+	st := s.state(nodeID)
+	if st == nil {
 		return 0
 	}
 	return DequantizeWu(st.wu)
@@ -224,8 +251,8 @@ func (s *Server) NormalizedDegradation(nodeID int) float64 {
 
 // Degradation returns the node's latest computed capacity fade.
 func (s *Server) Degradation(nodeID int) float64 {
-	st, ok := s.nodes[nodeID]
-	if !ok {
+	st := s.state(nodeID)
+	if st == nil {
 		return 0
 	}
 	return st.degr
@@ -233,11 +260,15 @@ func (s *Server) Degradation(nodeID int) float64 {
 
 // MaxDegradation returns the highest computed capacity fade in the
 // network and the node holding it (-1 when no nodes are registered).
-// Ties break toward the lowest node ID, keeping the reported worst node
-// independent of map iteration order.
+// Ties break toward the lowest node ID, so the reported worst node
+// never depended on iteration order (the index walk is ascending now,
+// but the contract predates it).
 func (s *Server) MaxDegradation() (nodeID int, degradation float64) {
 	nodeID = -1
 	for id, st := range s.nodes {
+		if st == nil {
+			continue
+		}
 		switch {
 		case nodeID == -1, st.degr > degradation:
 			nodeID, degradation = id, st.degr

@@ -37,7 +37,7 @@ type entry struct {
 // Engine is not safe for concurrent use.
 type Engine struct {
 	now      simtime.Time
-	pq       []entry // binary min-heap over (at, seq)
+	pq       []entry // 4-ary min-heap over (at, seq)
 	seq      uint64
 	executed uint64
 	stop     bool
@@ -120,44 +120,64 @@ func (a entry) less(b entry) bool {
 	return a.seq < b.seq
 }
 
-// push and pop are a hand-rolled binary heap: container/heap boxes
+// push and pop are a hand-rolled 4-ary heap: container/heap boxes
 // every element into an interface, which alone accounted for one
-// allocation per scheduled event.
+// allocation per scheduled event, and the wider fan-out halves the
+// sift-down depth of pop, the engine's dominant operation. The heap
+// shape is irrelevant to determinism: (at, seq) is a strict total
+// order, so any correct min-heap pops the exact same event sequence
+// (TestEnginePopOrderMatchesReferenceHeap cross-checks against the
+// previous binary layout).
+// Both sifts move a hole instead of swapping: the displaced entry is
+// held in a register and written exactly once at its final position,
+// halving the entry copies per level.
 func (e *Engine) push(en entry) {
 	e.pq = append(e.pq, en)
 	i := len(e.pq) - 1
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !e.pq[i].less(e.pq[parent]) {
+		parent := (i - 1) >> 2
+		if !en.less(e.pq[parent]) {
 			break
 		}
-		e.pq[i], e.pq[parent] = e.pq[parent], e.pq[i]
+		e.pq[i] = e.pq[parent]
 		i = parent
 	}
+	e.pq[i] = en
 }
 
 func (e *Engine) pop() entry {
 	top := e.pq[0]
 	last := len(e.pq) - 1
-	e.pq[0] = e.pq[last]
+	en := e.pq[last]
 	e.pq[last] = entry{} // release the Event for GC
 	e.pq = e.pq[:last]
-	// Sift down.
+	if last == 0 {
+		return top
+	}
+	// Sift the displaced tail entry down across up to four children per
+	// level.
 	i := 0
 	for {
-		left := 2*i + 1
-		if left >= last {
+		first := i<<2 + 1
+		if first >= last {
 			break
 		}
-		least := left
-		if right := left + 1; right < last && e.pq[right].less(e.pq[left]) {
-			least = right
+		least := first
+		end := first + 4
+		if end > last {
+			end = last
 		}
-		if !e.pq[least].less(e.pq[i]) {
+		for c := first + 1; c < end; c++ {
+			if e.pq[c].less(e.pq[least]) {
+				least = c
+			}
+		}
+		if !e.pq[least].less(en) {
 			break
 		}
-		e.pq[i], e.pq[least] = e.pq[least], e.pq[i]
+		e.pq[i] = e.pq[least]
 		i = least
 	}
+	e.pq[i] = en
 	return top
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"container/heap"
 	"math/rand/v2"
 	"testing"
 	"testing/quick"
@@ -226,6 +227,88 @@ func TestEngineMonotonicTimeProperty(t *testing.T) {
 		return ok && executed >= n && e.Pending() == 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// refHeap is a textbook container/heap binary min-heap over the same
+// (at, seq) order the engine uses — the pre-4-ary reference layout.
+type refHeap []entry
+
+func (h refHeap) Len() int           { return len(h) }
+func (h refHeap) Less(i, j int) bool { return h[i].less(h[j]) }
+func (h refHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)        { *h = append(*h, x.(entry)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old) - 1
+	e := old[n]
+	*h = old[:n]
+	return e
+}
+
+// TestEnginePopOrderMatchesReferenceHeap cross-checks the engine's
+// hand-rolled 4-ary heap against the reference binary heap: because
+// (at, seq) is a strict total order, any correct min-heap must pop the
+// identical event sequence no matter its internal arrangement. The
+// schedule mixes heavy same-instant ties (typed pooled events and
+// closures alike resolve by seq) with interleaved pops, which is where
+// a sift bug would reorder ties.
+func TestEnginePopOrderMatchesReferenceHeap(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0x4a7e))
+		e := NewEngine()
+		ref := refHeap{}
+		var got, want []uint64
+		var seq uint64
+		schedule := func() {
+			// Few distinct instants => many (at) ties broken by seq. The
+			// reference mirrors ScheduleEvent's past-instant clamp so both
+			// heaps hold identical entries.
+			at := simtime.Time(rng.Int64N(8))
+			if at < e.Now() {
+				at = e.Now()
+			}
+			seq++
+			id := seq
+			e.ScheduleEvent(at, eventFunc(func() { got = append(got, id) }))
+			heap.Push(&ref, entry{at: at, seq: seq})
+		}
+		pop := func() {
+			if len(ref) == 0 {
+				return
+			}
+			want = append(want, heap.Pop(&ref).(entry).seq)
+			if !e.Step() {
+				t.Fatal("engine drained before reference heap")
+			}
+		}
+		for i := 0; i < 300; i++ {
+			// Bias toward pushes so the heaps grow, but interleave pops to
+			// exercise sift-down on partially drained shapes.
+			if rng.IntN(3) == 0 {
+				pop()
+			} else {
+				schedule()
+			}
+		}
+		for len(ref) > 0 {
+			pop()
+		}
+		if e.Pending() != 0 {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
 	}
 }

@@ -85,6 +85,10 @@ type Medium struct {
 	omega    int
 	gateways int
 	words    int // gwBits words per flag set
+	// sensBySF memoizes lora.Sensitivity at the medium's fixed
+	// bandwidth for every valid SF; BeginUplink runs once per uplink
+	// and the map-backed lookup showed up in profiles.
+	sensBySF [lora.MaxSF + 1]float64
 
 	active  []*Transmission
 	buckets map[uint64][]*Transmission
@@ -129,7 +133,7 @@ func NewMedium(bw lora.Bandwidth, omega int, gateways int) *Medium {
 	if gateways < 1 {
 		gateways = 1
 	}
-	return &Medium{
+	m := &Medium{
 		bw:       bw,
 		omega:    omega,
 		gateways: gateways,
@@ -139,6 +143,10 @@ func NewMedium(bw lora.Bandwidth, omega int, gateways int) *Medium {
 		gwTxEnd:  make([]simtime.Time, gateways),
 		reserved: make([]simtime.Time, gateways),
 	}
+	for sf := lora.MinSF; sf <= lora.MaxSF; sf++ {
+		m.sensBySF[sf] = lora.Sensitivity(sf, bw)
+	}
+	return m
 }
 
 // Gateways returns the number of gateways.
@@ -166,7 +174,7 @@ func (m *Medium) BeginUplink(tx *Transmission) {
 	tx.anyViable = false
 	tx.ensureBits(m.words)
 
-	sens := lora.Sensitivity(tx.SF, m.bw)
+	sens := m.sensBySF[tx.SF]
 	key := bucketKey(tx.Channel, tx.SF)
 	bkt := m.buckets[key]
 	for g := 0; g < m.gateways; g++ {

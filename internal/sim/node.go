@@ -28,7 +28,9 @@ type Node struct {
 	Stats *metrics.NodeStats
 
 	src        energy.Source
+	srcMin     energy.MinuteSource // non-nil when src answers per-minute queries O(1)
 	fc         energy.Forecaster
+	fcEWMA     *energy.DiurnalEWMA // non-nil when fc supports slot-direct observations
 	rng        *rand.Rand
 	sleepW     float64   // baseline power draw in watts
 	rxPowerDBm []float64 // static received power at each gateway
@@ -81,6 +83,9 @@ type packet struct {
 	next         *packet // free-list link
 }
 
+// minutesPerDay mirrors the energy package's day-cache granularity.
+const minutesPerDay = 24 * 60
+
 // integrate advances the node's energy state from its last integration
 // point to now: per-minute harvesting (taught to the forecaster),
 // baseline sleep draw, and battery charge/discharge with the protocol's
@@ -93,14 +98,61 @@ func (n *Node) integrate(to simtime.Time) {
 	n.lastIntegrated = to
 	const minuteT = simtime.Time(simtime.Minute)
 	cursor := from
+	minute := int64(cursor / minuteT)
+	if n.srcMin != nil {
+		// Walk the source's cached per-minute powers for the day directly.
+		// A whole-minute step harvests power·60 s; a partial step inside
+		// one minute harvests power·elapsed — bit-identical to the
+		// interval query, which reduces to the same single product.
+		day := minute / minutesPerDay
+		dayBase := day * minutesPerDay
+		pow := n.srcMin.DayPowers(day)
+		for cursor < to {
+			if minute-dayBase >= minutesPerDay {
+				day = minute / minutesPerDay
+				dayBase = day * minutesPerDay
+				pow = n.srcMin.DayPowers(day)
+			}
+			p := pow[minute-dayBase]
+			next := simtime.Time(minute+1) * minuteT
+			var net float64
+			if next <= to && cursor == simtime.Time(minute)*minuteT {
+				harvest := p * 60.0
+				if n.fcEWMA != nil {
+					n.fcEWMA.ObserveFullSlot(int(minute-dayBase), harvest)
+				} else {
+					n.fc.Observe(cursor, next, harvest)
+				}
+				net = harvest - 60.0*n.sleepW - n.extraDrawJ
+			} else {
+				if next > to {
+					next = to
+				}
+				secs := next.Sub(cursor).Seconds()
+				harvest := p * secs
+				n.fc.Observe(cursor, next, harvest)
+				net = harvest - secs*n.sleepW - n.extraDrawJ
+			}
+			n.extraDrawJ = 0
+			if net >= 0 {
+				n.Batt.Charge(next, net)
+			} else {
+				n.Batt.Discharge(next, -net)
+			}
+			cursor = next
+			minute++
+		}
+		return
+	}
 	for cursor < to {
-		next := (cursor/minuteT + 1) * minuteT
+		next := simtime.Time(minute+1) * minuteT
 		if next > to {
 			next = to
 		}
 		harvest := n.src.Energy(cursor, next)
+		secs := next.Sub(cursor).Seconds()
 		n.fc.Observe(cursor, next, harvest)
-		net := harvest - next.Sub(cursor).Seconds()*n.sleepW - n.extraDrawJ
+		net := harvest - secs*n.sleepW - n.extraDrawJ
 		n.extraDrawJ = 0
 		if net >= 0 {
 			n.Batt.Charge(next, net)
@@ -108,6 +160,7 @@ func (n *Node) integrate(to simtime.Time) {
 			n.Batt.Discharge(next, -net)
 		}
 		cursor = next
+		minute++
 	}
 }
 

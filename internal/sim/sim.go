@@ -11,6 +11,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/lora"
 	"repro/internal/mac"
+	"repro/internal/mathx"
 	"repro/internal/metrics"
 	"repro/internal/netserver"
 	"repro/internal/obs"
@@ -190,14 +191,14 @@ func (s *Simulation) buildNode(id int, trace *energy.YearTrace) (*Node, error) {
 			break
 		}
 		var ok bool
-		if sf, ok = radio.AssignSF(maxOf(rxPerGW), cfg.SFMarginDB, lora.BW125); ok {
+		if sf, ok = radio.AssignSF(mathx.MaxOf(rxPerGW), cfg.SFMarginDB, lora.BW125); ok {
 			break
 		}
 		if try >= 100 {
 			// Pathological shadowing draw: pin the node near the gateway.
 			pos = radio.Position{X: 100}
 			rxPerGW = s.rxPowers(pos, id)
-			sf, _ = radio.AssignSF(maxOf(rxPerGW), cfg.SFMarginDB, lora.BW125)
+			sf, _ = radio.AssignSF(mathx.MaxOf(rxPerGW), cfg.SFMarginDB, lora.BW125)
 			break
 		}
 	}
@@ -289,6 +290,12 @@ func (s *Simulation) buildNode(id int, trace *energy.YearTrace) (*Node, error) {
 	}
 	store.SetChargeLimit(proto.Theta())
 
+	// The solar substrate answers per-minute queries O(1) from its day
+	// cache; the integrator uses that path directly when available, and
+	// feeds whole-minute observations straight into the EWMA profile slot.
+	srcMin, _ := src.(energy.MinuteSource)
+	fcEWMA, _ := fc.(*energy.DiurnalEWMA)
+
 	return &Node{
 		ID:         id,
 		Pos:        pos,
@@ -302,7 +309,9 @@ func (s *Simulation) buildNode(id int, trace *energy.YearTrace) (*Node, error) {
 		Batt:       store,
 		Stats:      metrics.NewNodeStats(),
 		src:        src,
+		srcMin:     srcMin,
 		fc:         fc,
+		fcEWMA:     fcEWMA,
 		rng:        rng,
 		sleepW:     cfg.SleepPowerW,
 		rxEnergyJ:  rxE,
@@ -446,7 +455,7 @@ func (s *Simulation) generate(n *Node) {
 			s.hooks.OnPacketDone(n.ID, false, 0, -1)
 		}
 	} else {
-		window := clampInt(dec.Window, 0, n.Windows-1)
+		window := mathx.ClampInt(dec.Window, 0, n.Windows-1)
 		pkt := s.newPacket()
 		pkt.genAt = now
 		pkt.deadline = now.Add(n.Period)
@@ -682,24 +691,4 @@ func (s *Simulation) rxPowers(pos radio.Position, id int) []float64 {
 		out[g] = s.cfg.PathLoss.RxPowerBetweenDBm(s.cfg.TxPowerDBm, pos, gp, uint64(id)*131+uint64(g))
 	}
 	return out
-}
-
-func maxOf(xs []float64) float64 {
-	best := xs[0]
-	for _, x := range xs[1:] {
-		if x > best {
-			best = x
-		}
-	}
-	return best
-}
-
-func clampInt(v, lo, hi int) int {
-	if v < lo {
-		return lo
-	}
-	if v > hi {
-		return hi
-	}
-	return v
 }

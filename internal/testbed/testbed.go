@@ -471,12 +471,19 @@ func (n *node) integrate(to simtime.Time) {
 	cursor := from
 	for cursor < to {
 		next := (cursor/minuteT + 1) * minuteT
-		if next > to {
-			next = to
+		var secs float64
+		if next <= to && cursor == next-minuteT {
+			// Whole-minute step: a full simulated minute is exactly 60 s.
+			secs = 60.0
+		} else {
+			if next > to {
+				next = to
+			}
+			secs = next.Sub(cursor).Seconds()
 		}
 		harvest := n.src.Energy(cursor, next)
 		n.fc.Observe(cursor, next, harvest)
-		net := harvest - next.Sub(cursor).Seconds()*n.sleepW - n.extraDrawJ
+		net := harvest - secs*n.sleepW - n.extraDrawJ
 		n.extraDrawJ = 0
 		if net >= 0 {
 			n.batt.Charge(next, net)
