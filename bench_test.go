@@ -310,6 +310,53 @@ func benchSimLargeN(b *testing.B, nodes int) {
 func BenchmarkSimulatorDayLargeN(b *testing.B) { benchSimLargeN(b, 500) }
 func BenchmarkSweep1000Nodes(b *testing.B)     { benchSimLargeN(b, 1000) }
 
+// benchSimSharded runs one simulated day at city scale on the sharded
+// engine: a multi-gateway deployment wide enough that each cell carries
+// real traffic. ForecastPrimeDays is trimmed to one because priming is
+// construction cost, not the simulation loop this bench tracks (at 100k
+// nodes the default seven priming days dominate wall-clock). sim-days/s
+// is the scale-ladder headline the bench-regression harness gates.
+func benchSimSharded(b *testing.B, nodes, gateways int, radiusM float64) {
+	b.Helper()
+	cfg := config.Default().WithSeed(9)
+	cfg.Nodes = nodes
+	cfg.Gateways = gateways
+	cfg.MaxDistanceM = radiusM
+	cfg.Channels = 8
+	cfg.Demodulators = 8
+	cfg.ForecastPrimeDays = 1
+	cfg.Duration = simtime.Day
+	if testing.Short() {
+		cfg.Duration = 2 * simtime.Hour
+	}
+	opt := sim.RunOptions{} // auto shards: min(gateways, CPUs)
+	run := func() {
+		s, err := sim.New(cfg, sim.Hooks{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.RunOpt(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// No warm-up pass: one iteration is tens of seconds even under
+	// -short, so cold-start noise is negligible and a warmSim-style
+	// extra run would double the bench's wall-clock cost.
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	simDays := cfg.Duration.Seconds() / (24 * 3600) * float64(b.N)
+	b.ReportMetric(simDays/b.Elapsed().Seconds(), "sim-days/s")
+}
+
+// BenchmarkSweep10kNodes and BenchmarkSweep100kNodes are the scale
+// ladder's upper rungs: the 100k run is the paper-scale target a single
+// event heap could not reach, and the 10k rung localizes regressions
+// between 1k and 100k. Both shrink to two simulated hours under -short.
+func BenchmarkSweep10kNodes(b *testing.B)  { benchSimSharded(b, 10_000, 8, 25_000) }
+func BenchmarkSweep100kNodes(b *testing.B) { benchSimSharded(b, 100_000, 16, 40_000) }
+
 // BenchmarkSimulatorYear exercises the multi-year regime the paper
 // actually simulates (up to 15 years): long runs stress the rolling
 // day-cache refills, year-boundary trace factors, and the degradation

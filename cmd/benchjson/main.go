@@ -76,6 +76,11 @@ type Record struct {
 	// SweepParallelCPUs is the CPU count the Max-side sweep benchmark ran
 	// with, so the speedup can be judged against the available cores.
 	SweepParallelCPUs int `json:"sweep_parallel_cpus,omitempty"`
+	// ScaleLadder collects the sim-days/s throughput of every Sweep*Nodes
+	// rung present in the run (1k, 10k, 100k), the single-machine scaling
+	// headline. Each rung is also diffed against the baseline like any
+	// other "/s" metric when -nsregress is set.
+	ScaleLadder map[string]float64 `json:"scale_ladder,omitempty"`
 	// Baseline is the prior record this run was diffed against.
 	Baseline string `json:"baseline,omitempty"`
 	// Regressions flags allocs/op and bytes/op growth beyond the
@@ -123,6 +128,16 @@ func main() {
 	if w1, wMax := find(rec.Benchmarks, "SweepWorkers1"), find(rec.Benchmarks, "SweepWorkersMax"); w1 != nil && wMax != nil && wMax.NsPerOp > 0 {
 		rec.SweepParallelSpeedup = w1.NsPerOp / wMax.NsPerOp
 		rec.SweepParallelCPUs = wMax.CPUs
+	}
+	for _, name := range []string{"Sweep1000Nodes", "Sweep10kNodes", "Sweep100kNodes"} {
+		if b := find(rec.Benchmarks, name); b != nil {
+			if v, ok := b.Metrics["sim-days/s"]; ok {
+				if rec.ScaleLadder == nil {
+					rec.ScaleLadder = make(map[string]float64)
+				}
+				rec.ScaleLadder[name] = v
+			}
+		}
 	}
 
 	path := *out

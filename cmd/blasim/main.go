@@ -61,9 +61,11 @@ func run() error {
 		theta     = flag.Float64("theta", 0.5, "battery charge cap for bla/theta-only")
 		weightB   = flag.Float64("wb", 1, "degradation weight w_b")
 		nodes     = flag.Int("nodes", 100, "network size")
+		gateways  = flag.Int("gateways", 0, "gateway count (0 = scenario default)")
 		duration  = flag.Duration("duration", 60*24*time.Hour, "simulated time")
 		seed      = flag.Uint64("seed", 1, "scenario seed")
 		channels  = flag.Int("channels", 1, "125 kHz uplink channels")
+		shards    = flag.Int("shards", 0, "per-cell engine shards: 0 = auto (min of gateways and CPUs), 1 = single heap")
 		fixedSF   = flag.Int("sf", 0, "fix all nodes to this SF (0 = link-budget assignment)")
 		forecast  = flag.String("forecast", "ewma", "forecaster: ewma, perfect, noisy")
 		noise     = flag.Float64("forecast-noise", 0.3, "relative error for the noisy forecaster")
@@ -96,6 +98,9 @@ func run() error {
 	cfg.Nodes = *nodes
 	cfg.Duration = simtime.FromDuration(*duration)
 	cfg.Channels = *channels
+	if *gateways > 0 {
+		cfg.Gateways = *gateways
+	}
 	cfg.FixedSF = lora.SpreadingFactor(*fixedSF)
 	cfg.Forecast = config.ForecastKind(*forecast)
 	cfg.ForecastNoise = *noise
@@ -128,12 +133,13 @@ func run() error {
 		}, simtime.FromDuration(*obsSample))
 	}
 
+	exec := config.Exec{Shards: *shards}
 	started := time.Now()
 	s, err := sim.New(cfg, sim.Hooks{Obs: rec})
 	if err != nil {
 		return err
 	}
-	res, err := s.Run()
+	res, err := s.RunOpt(sim.RunOptions{Shards: exec.Shards, Workers: exec.Workers})
 	if err != nil {
 		return err
 	}
@@ -141,9 +147,13 @@ func run() error {
 		if err := rec.ExportFiles(*obsDir, "run"); err != nil {
 			return fmt.Errorf("obs export: %w", err)
 		}
+		// Like the worker count, the effective shard count is recorded
+		// only here: run.jsonl and the CSVs stay byte-identical across
+		// -shards values.
 		err := obs.WriteInvocationManifest(filepath.Join(*obsDir, "manifest.json"), obs.InvocationManifest{
 			Seed:          cfg.Seed,
 			Workers:       1,
+			Shards:        s.ShardsUsed(),
 			SampleEveryMs: int64(rec.SampleEvery() / simtime.Millisecond),
 			Runs:          []string{"run.jsonl"},
 		})

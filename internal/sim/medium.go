@@ -169,7 +169,15 @@ func (m *Medium) NewTransmission() *Transmission {
 // BeginUplink registers a transmission starting now. Collision state is
 // updated immediately for the new signal and every overlapping one, at
 // every gateway. tx.PowerDBm must have one entry per gateway.
-func (m *Medium) BeginUplink(tx *Transmission) {
+func (m *Medium) BeginUplink(tx *Transmission) { m.beginUplink(tx, true) }
+
+// BeginUplinkPart registers one cell's masked clone of a cross-shard
+// transmission: reception state is tracked exactly as BeginUplink
+// would, but the uplink is not counted — the coordinator counts the
+// whole transmission once via CountUplink.
+func (m *Medium) BeginUplinkPart(tx *Transmission) { m.beginUplink(tx, false) }
+
+func (m *Medium) beginUplink(tx *Transmission, count bool) {
 	tx.begun = true
 	tx.anyViable = false
 	tx.ensureBits(m.words)
@@ -214,7 +222,9 @@ func (m *Medium) BeginUplink(tx *Transmission) {
 		tx.anyViable = true
 		m.viable++
 	}
-	m.cUplinks.Inc()
+	if count {
+		m.cUplinks.Inc()
+	}
 	tx.activeIdx = len(m.active)
 	m.active = append(m.active, tx)
 	tx.bucketIdx = len(bkt)
@@ -244,33 +254,7 @@ func (m *Medium) EndUplink(tx *Transmission) []int {
 		return m.decoded
 	}
 
-	// Swap-remove from the flat active list and from the (channel, SF)
-	// bucket; both positions are tracked on the transmission.
-	if last := len(m.active) - 1; tx.activeIdx <= last {
-		moved := m.active[last]
-		m.active[tx.activeIdx] = moved
-		moved.activeIdx = tx.activeIdx
-		m.active[last] = nil
-		m.active = m.active[:last]
-	}
-	key := bucketKey(tx.Channel, tx.SF)
-	if bkt := m.buckets[key]; len(bkt) > 0 {
-		last := len(bkt) - 1
-		moved := bkt[last]
-		bkt[tx.bucketIdx] = moved
-		moved.bucketIdx = tx.bucketIdx
-		bkt[last] = nil
-		m.buckets[key] = bkt[:last]
-	}
-	// Release this transmission's demodulator locks and viability count.
-	for g := 0; g < m.gateways; g++ {
-		if !tx.weak.get(g) && !tx.unlocked.get(g) {
-			m.locked[g]--
-		}
-	}
-	if tx.anyViable {
-		m.viable--
-	}
+	m.detach(tx)
 
 	decoded := m.decoded[:0]
 	for g := 0; g < m.gateways; g++ {
@@ -329,6 +313,95 @@ func (m *Medium) EndUplink(tx *Transmission) []int {
 		m.freeTx = tx
 	}
 	return decoded
+}
+
+// detach removes the transmission from the active set, its
+// (channel, SF) bucket, its demodulator locks, and the viability count.
+func (m *Medium) detach(tx *Transmission) {
+	// Swap-remove from the flat active list and from the (channel, SF)
+	// bucket; both positions are tracked on the transmission.
+	if last := len(m.active) - 1; tx.activeIdx <= last {
+		moved := m.active[last]
+		m.active[tx.activeIdx] = moved
+		moved.activeIdx = tx.activeIdx
+		m.active[last] = nil
+		m.active = m.active[:last]
+	}
+	key := bucketKey(tx.Channel, tx.SF)
+	if bkt := m.buckets[key]; len(bkt) > 0 {
+		last := len(bkt) - 1
+		moved := bkt[last]
+		bkt[tx.bucketIdx] = moved
+		moved.bucketIdx = tx.bucketIdx
+		bkt[last] = nil
+		m.buckets[key] = bkt[:last]
+	}
+	// Release this transmission's demodulator locks and viability count.
+	for g := 0; g < m.gateways; g++ {
+		if !tx.weak.get(g) && !tx.unlocked.get(g) {
+			m.locked[g]--
+		}
+	}
+	if tx.anyViable {
+		m.viable--
+	}
+}
+
+// EndUplinkPart removes one cell's masked clone of a cross-shard
+// transmission, appends its decoding gateways to dst in ascending
+// index order, and reports whether any in-range gateway saw
+// interference or demodulator exhaustion. The coordinator merges the
+// per-cell results, orders them, and classifies the outcome once via
+// CountUplinkOutcome.
+func (m *Medium) EndUplinkPart(tx *Transmission, dst []int) (decoded []int, anyCorrupted, anyUnlocked bool) {
+	m.detach(tx)
+	for g := 0; g < m.gateways; g++ {
+		if tx.weak.get(g) {
+			continue
+		}
+		c, u := tx.corrupted.get(g), tx.unlocked.get(g)
+		if c {
+			anyCorrupted = true
+		}
+		if u {
+			anyUnlocked = true
+		}
+		if !c && !u {
+			dst = append(dst, g)
+		}
+	}
+	if tx.pooled {
+		tx.begun = false
+		tx.PowerDBm = nil
+		tx.poolNext = m.freeTx
+		m.freeTx = tx
+	}
+	return dst, anyCorrupted, anyUnlocked
+}
+
+// CountUplink records one uplink in the observability counters without
+// registering a transmission; cross-shard uplinks register per-cell
+// clones via BeginUplinkPart, which does not count.
+func (m *Medium) CountUplink() { m.cUplinks.Inc() }
+
+// CountUplinkOutcome classifies one finished uplink from a merged
+// cross-shard outcome, mirroring EndUplink's classification exactly.
+func (m *Medium) CountUplinkOutcome(decoded int, anyCorrupted, anyUnlocked bool) {
+	if !m.obsOn {
+		return
+	}
+	if decoded > 0 {
+		m.cDecoded.Inc()
+		return
+	}
+	switch {
+	case anyCorrupted:
+		m.cLostCollision.Inc()
+	case anyUnlocked:
+		m.cLostBusy.Inc()
+	default:
+		m.cLostWeak.Inc()
+	}
 }
 
 // ReserveDownlink atomically claims gateway gw's radio for [start, end):

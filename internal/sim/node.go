@@ -40,6 +40,13 @@ type Node struct {
 	span       simtime.Duration // worst-case attempt duration, precomputed
 	obsTL      *obs.NodeTimeline
 
+	// Sharded execution: owner is the lane whose engine runs this node's
+	// events (set per run); borderPow is non-nil only for border nodes —
+	// one masked power vector per worker lane that can hear the node,
+	// nil entries for lanes that cannot.
+	owner     *shard
+	borderPow [][]float64
+
 	lastIntegrated simtime.Time
 	extraDrawJ     float64 // radio energy awaiting the next balance chunk
 	pkt            *packet

@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/faults"
+	"repro/internal/lora"
+	"repro/internal/obs"
+	"repro/internal/simtime"
+)
+
+// shardOracleScenario is a multi-gateway, multi-cell scenario with
+// enough traffic, retransmissions, and faults to exercise every event
+// path: collisions on a narrow channel plan, backhaul faults, and
+// brownouts.
+func shardOracleScenario(seed uint64) config.Scenario {
+	cfg := config.Default().WithSeed(seed)
+	cfg.Nodes = 48
+	cfg.Gateways = 8
+	cfg.MaxDistanceM = 12000
+	cfg.Channels = 2
+	cfg.Demodulators = 2
+	cfg.Duration = 4 * simtime.Day
+	cfg.ForecastPrimeDays = 2
+	cfg.Faults = faults.Config{
+		DownlinkLoss: 0.05,
+		UplinkLoss:   0.05,
+		UplinkDup:    0.05,
+		OutageStart:  30 * simtime.Hour,
+		OutageLen:    2 * simtime.Hour,
+		OutageEvery:  simtime.Day,
+		BrownoutMTBF: 10 * simtime.Day,
+	}
+	return cfg
+}
+
+func runOpt(t *testing.T, cfg config.Scenario, rec *obs.Recorder, opt RunOptions) (*Simulation, *Result) {
+	t.Helper()
+	s, err := New(cfg, Hooks{Obs: rec})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := s.RunOpt(opt)
+	if err != nil {
+		t.Fatalf("RunOpt(%+v): %v", opt, err)
+	}
+	return s, res
+}
+
+func obsBytes(t *testing.T, rec *obs.Recorder) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestShardedOracleMatchesSingleHeap pins sharded runs bit-identical to
+// the single-heap engine: the full Result (every per-node stat, every
+// float) and the complete obs export must match byte for byte at every
+// shard and worker count.
+func TestShardedOracleMatchesSingleHeap(t *testing.T) {
+	for _, seed := range []uint64{3, 77} {
+		cfg := shardOracleScenario(seed)
+		man := obs.Manifest{Experiment: "oracle", Seed: seed, Nodes: cfg.Nodes}
+		refRec := obs.New(man, simtime.Hour)
+		_, ref := runOpt(t, cfg, refRec, RunOptions{Shards: 1})
+		refOut := obsBytes(t, refRec)
+
+		for _, opt := range []RunOptions{
+			{Shards: 2, Workers: 1},
+			{Shards: 3, Workers: 2},
+			{Shards: 8, Workers: 2},
+			{Shards: 64, Workers: 2}, // clamped to the gateway count
+		} {
+			rec := obs.New(man, simtime.Hour)
+			s, got := runOpt(t, cfg, rec, opt)
+			if want := min(opt.Shards, cfg.Gateways); s.ShardsUsed() != want {
+				t.Fatalf("seed %d %+v: ShardsUsed = %d, want %d", seed, opt, s.ShardsUsed(), want)
+			}
+			if !reflect.DeepEqual(ref, got) {
+				t.Errorf("seed %d %+v: result differs from single-heap run", seed, opt)
+			}
+			if out := obsBytes(t, rec); !bytes.Equal(refOut, out) {
+				t.Errorf("seed %d %+v: obs export differs from single-heap run", seed, opt)
+			}
+			// Guard against a vacuous pass: the partition must actually
+			// split the node set into interior nodes and border nodes.
+			var interior, border int
+			for _, n := range s.Nodes() {
+				if n.borderPow != nil {
+					border++
+				} else {
+					interior++
+				}
+			}
+			if border == 0 || interior == 0 {
+				t.Fatalf("seed %d %+v: degenerate partition (%d interior, %d border)",
+					seed, opt, interior, border)
+			}
+		}
+	}
+}
+
+// TestShardedBorderCaptureAdversarial drives the border path as hard as
+// possible: every node hears both gateways (a tiny deployment radius),
+// one channel, one demodulator per gateway — so capture, demodulator
+// exhaustion, and half-duplex deafness all resolve across the cell
+// boundary on every collision.
+func TestShardedBorderCaptureAdversarial(t *testing.T) {
+	cfg := config.Default().WithSeed(5)
+	cfg.Nodes = 24
+	cfg.Gateways = 2
+	cfg.MaxDistanceM = 900
+	cfg.Channels = 1
+	cfg.Demodulators = 1
+	cfg.FixedSF = lora.SpreadingFactor(9) // long airtime: more overlap
+	cfg.StartSpread = 5 * simtime.Minute
+	cfg.Duration = 2 * simtime.Day
+	cfg.ForecastPrimeDays = 2
+
+	_, ref := runOpt(t, cfg, nil, RunOptions{Shards: 1})
+	s, got := runOpt(t, cfg, nil, RunOptions{Shards: 2, Workers: 2})
+	if !reflect.DeepEqual(ref, got) {
+		t.Error("all-border adversarial run differs from single-heap run")
+	}
+	var border int
+	for _, n := range s.Nodes() {
+		if n.borderPow != nil {
+			border++
+		}
+	}
+	if border != cfg.Nodes {
+		t.Fatalf("expected every node on the border, got %d/%d", border, cfg.Nodes)
+	}
+
+	// Mixed variant: a wide deployment with two cells produces both
+	// interior and border traffic through the same narrow gateways.
+	cfg2 := cfg
+	cfg2.MaxDistanceM = 9000
+	cfg2.FixedSF = 0
+	_, ref2 := runOpt(t, cfg2, nil, RunOptions{Shards: 1})
+	_, got2 := runOpt(t, cfg2, nil, RunOptions{Shards: 2, Workers: 2})
+	if !reflect.DeepEqual(ref2, got2) {
+		t.Error("mixed border/interior run differs from single-heap run")
+	}
+}
+
+// TestMediumPartMergeOrdering pins the cross-shard decode merge to the
+// global medium's ACK-gateway order, including exact power ties, which
+// random placement never produces.
+func TestMediumPartMergeOrdering(t *testing.T) {
+	const sf = lora.SpreadingFactor(7)
+	pow := []float64{-90, -80, -100, -80} // tie between gateways 1 and 3
+
+	global := NewMedium(lora.BW125, 8, 4)
+	gtx := global.NewTransmission()
+	gtx.NodeID, gtx.Channel, gtx.SF = 1, 0, sf
+	gtx.PowerDBm = pow
+	gtx.Start, gtx.End = 0, 100
+	global.BeginUplink(gtx)
+	want := append([]int(nil), global.EndUplink(gtx)...)
+
+	// Two part media over cells {0,1} and {2,3}, masked like a border
+	// node's clones.
+	masked := func(gws ...int) []float64 {
+		m := []float64{maskedDBm, maskedDBm, maskedDBm, maskedDBm}
+		for _, g := range gws {
+			m[g] = pow[g]
+		}
+		return m
+	}
+	var got []int
+	var anyCorrupted, anyUnlocked bool
+	for _, cell := range [][]int{{0, 1}, {2, 3}} {
+		med := NewMedium(lora.BW125, 8, 4)
+		tx := med.NewTransmission()
+		tx.NodeID, tx.Channel, tx.SF = 1, 0, sf
+		tx.PowerDBm = masked(cell...)
+		tx.Start, tx.End = 0, 100
+		med.BeginUplinkPart(tx)
+		var c, u bool
+		got, c, u = med.EndUplinkPart(tx, got)
+		anyCorrupted, anyUnlocked = anyCorrupted || c, anyUnlocked || u
+	}
+	sortDecodedByPower(got, pow)
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("merged decode order = %v, want %v", got, want)
+	}
+	if anyCorrupted || anyUnlocked {
+		t.Errorf("clean air reported corrupted=%v unlocked=%v", anyCorrupted, anyUnlocked)
+	}
+
+	// A colliding pair in one part medium must surface the corruption
+	// flag the coordinator classifies losses with.
+	med := NewMedium(lora.BW125, 8, 2)
+	a := med.NewTransmission()
+	a.NodeID, a.Channel, a.SF = 1, 0, sf
+	a.PowerDBm = []float64{-90, maskedDBm}
+	a.Start, a.End = 0, 100
+	med.BeginUplinkPart(a)
+	b := med.NewTransmission()
+	b.NodeID, b.Channel, b.SF = 2, 0, sf
+	b.PowerDBm = []float64{-90, maskedDBm} // equal power: neither captures
+	b.Start, b.End = 0, 100
+	med.BeginUplinkPart(b)
+	dec, corrupted, _ := med.EndUplinkPart(a, nil)
+	if len(dec) != 0 || !corrupted {
+		t.Errorf("collision: decoded=%v corrupted=%v, want none decoded and corrupted", dec, corrupted)
+	}
+}
+
+// TestShardedEoLStopMatches pins the lifespan run-to-EoL stop across
+// engines: the halt must freeze every lane at the same daily tick.
+func TestShardedEoLStopMatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-month EoL run")
+	}
+	cfg := shardOracleScenario(13)
+	cfg.Nodes = 16
+	cfg.Gateways = 4
+	cfg.RunToEoL = true
+	cfg.MaxDuration = 120 * simtime.Day
+	// Accelerated aging (the lifespan experiments' trick): EoL arrives
+	// within the bounded horizon with an identical trajectory shape.
+	cfg.BatteryModel.K1 *= 2000
+	cfg.BatteryModel.K6 *= 2000
+	_, ref := runOpt(t, cfg, nil, RunOptions{Shards: 1})
+	_, got := runOpt(t, cfg, nil, RunOptions{Shards: 4, Workers: 2})
+	if !reflect.DeepEqual(ref, got) {
+		t.Error("EoL-stopped sharded run differs from single-heap run")
+	}
+	if ref.LifespanDays == 0 {
+		t.Fatal("scenario never reached EoL; the stop path was not exercised")
+	}
+}

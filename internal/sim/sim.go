@@ -16,6 +16,7 @@ import (
 	"repro/internal/netserver"
 	"repro/internal/obs"
 	"repro/internal/radio"
+	"repro/internal/runner"
 	"repro/internal/simtime"
 	"repro/internal/utility"
 )
@@ -82,8 +83,7 @@ type Result struct {
 type Simulation struct {
 	cfg    config.Scenario
 	hooks  Hooks
-	eng    *Engine
-	med    *Medium
+	med    *Medium // the single-lane medium; sharded runs build per-cell media
 	server *netserver.Server
 	nodes  []*Node
 	util   utility.Function
@@ -94,8 +94,19 @@ type Simulation struct {
 	monthly      []float64
 	lifespanDays float64
 
-	freeEv  *simEvent // pooled typed events
-	freePkt *packet   // pooled packets
+	// Execution lanes, built per run by setupLanes. shards are the
+	// worker lanes (cells); coord owns global ticks and border nodes
+	// (identical to shards[0] in single-lane runs); lanes is both for
+	// iteration. gwShard maps gateway index to worker lane (nil in
+	// single-lane runs).
+	shards        []*shard
+	coord         *shard
+	lanes         []*shard
+	gwShard       []int
+	shardsUsed    int
+	stopped       bool
+	stopAt        simtime.Time
+	borderDecoded []int // coordinator's merge buffer for border uplinks
 
 	// Observability; obs is nil (and the counters no-ops) unless
 	// Hooks.Obs was set.
@@ -135,7 +146,6 @@ func New(cfg config.Scenario, hooks Hooks) (*Simulation, error) {
 	s := &Simulation{
 		cfg:    cfg,
 		hooks:  hooks,
-		eng:    NewEngine(),
 		med:    NewMedium(lora.BW125, cfg.Demodulators, cfg.Gateways),
 		server: server,
 		util:   utility.Linear{},
@@ -324,13 +334,26 @@ func (s *Simulation) buildNode(id int, trace *energy.YearTrace) (*Node, error) {
 // Nodes exposes the node set for experiment probes.
 func (s *Simulation) Nodes() []*Node { return s.nodes }
 
-// Run executes the scenario and returns the result.
+// ShardsUsed reports the effective shard count of the last run (for
+// invocation manifests); zero before the first run.
+func (s *Simulation) ShardsUsed() int { return s.shardsUsed }
+
+// Run executes the scenario single-lane (the legacy engine) and
+// returns the result.
 func (s *Simulation) Run() (*Result, error) {
+	return s.RunOpt(RunOptions{Shards: 1})
+}
+
+// RunOpt executes the scenario with the given execution options. The
+// result is byte-identical at every (workers, shards) combination.
+func (s *Simulation) RunOpt(opt RunOptions) (*Result, error) {
 	cfg := s.cfg
 	horizon := cfg.Duration
 	if cfg.RunToEoL {
 		horizon = cfg.MaxDuration
 	}
+
+	s.setupLanes(s.resolveShards(opt))
 
 	for _, n := range s.nodes {
 		spread := cfg.StartSpread
@@ -338,20 +361,27 @@ func (s *Simulation) Run() (*Result, error) {
 			spread = n.Period
 		}
 		first := simtime.Time(n.rng.Int64N(int64(spread)))
-		s.schedule(first, evGenerate, n, nil, nil, 0, 0)
+		n.owner.schedule(first, evGenerate, n, nil, nil, nil, 0, 0)
 		if at, ok := s.plan.NextBrownout(n.ID, 0); ok {
-			s.schedule(at, evBrownout, n, nil, nil, 0, 0)
+			n.owner.schedule(at, evBrownout, n, nil, nil, nil, 0, 0)
 		}
 	}
-	s.schedule(0, evDaily, nil, nil, nil, 0, 0)
-	s.schedule(simtime.Time(30*simtime.Day), evMonthly, nil, nil, nil, 0, 0)
+	s.coord.schedule(0, evDaily, nil, nil, nil, nil, 0, 0)
+	s.coord.schedule(simtime.Time(30*simtime.Day), evMonthly, nil, nil, nil, nil, 0, 0)
 	if s.obs.Enabled() {
-		s.schedule(0, evObsSample, nil, nil, nil, 0, 0)
+		s.coord.schedule(0, evObsSample, nil, nil, nil, nil, 0, 0)
 	}
 
-	s.eng.Run(simtime.Time(horizon))
+	if len(s.lanes) == 1 {
+		s.lanes[0].eng.Run(simtime.Time(horizon))
+	} else {
+		s.runSharded(simtime.Time(horizon), runner.Workers(opt.Workers))
+	}
 
-	now := s.eng.Now()
+	now := simtime.Time(horizon)
+	if s.stopped {
+		now = s.stopAt
+	}
 	res := &Result{
 		Label:         cfg.ProtocolLabel(),
 		Elapsed:       simtime.Duration(now),
@@ -375,8 +405,16 @@ func (s *Simulation) Run() (*Result, error) {
 		})
 	}
 	if s.obs.Enabled() {
-		s.obs.Counter("engine.events_scheduled").Store(int64(s.eng.Scheduled()))
-		s.obs.Counter("engine.events_executed").Store(int64(s.eng.Executed()))
+		// The schedule/execute totals are summed across lanes: the event
+		// multiset is shard-invariant, so the sums match the single-heap
+		// counters exactly.
+		var scheduled, executed uint64
+		for _, ln := range s.lanes {
+			scheduled += ln.eng.Scheduled()
+			executed += ln.eng.Executed()
+		}
+		s.obs.Counter("engine.events_scheduled").Store(int64(scheduled))
+		s.obs.Counter("engine.events_executed").Store(int64(executed))
 	}
 	return res, nil
 }
@@ -385,20 +423,24 @@ func (s *Simulation) Run() (*Result, error) {
 // reschedules itself. Sampling is read-only — Damage and SoC are pure
 // accessors and no energy integration runs — so enabling observability
 // cannot perturb the simulation: RNG streams, event order, and all
-// results stay byte-identical to an unobserved run.
-func (s *Simulation) obsSample() {
-	now := s.eng.Now()
+// results stay byte-identical to an unobserved run. It runs on the
+// coordinator lane, with every worker lane parked at the sample
+// instant.
+func (sh *shard) obsSample() {
+	s := sh.s
+	now := sh.eng.Now()
 	for _, n := range s.nodes {
 		bd := n.Batt.Damage(now)
 		n.obsTL.Record(now, n.Batt.SoC(), bd.Calendar, bd.Cycle, bd.Total, len(n.pendingTrans))
 	}
-	s.schedule(now.Add(s.obs.SampleEvery()), evObsSample, nil, nil, nil, 0, 0)
+	sh.schedule(now.Add(s.obs.SampleEvery()), evObsSample, nil, nil, nil, nil, 0, 0)
 }
 
 // dailyTick runs the gateway's daily degradation recomputation and the
-// EoL stop condition.
-func (s *Simulation) dailyTick() {
-	now := s.eng.Now()
+// EoL stop condition, on the coordinator lane.
+func (sh *shard) dailyTick() {
+	s := sh.s
+	now := sh.eng.Now()
 	// An offline gateway misses its recompute slot; the grid-aligned
 	// schedule catches up on the first tick after the outage ends.
 	if !s.plan.GatewayDown(now) {
@@ -406,19 +448,20 @@ func (s *Simulation) dailyTick() {
 	}
 	if s.cfg.RunToEoL && s.maxGroundTruthDeg(now) >= s.cfg.BatteryModel.EoLThreshold {
 		s.lifespanDays = now.Days()
-		s.eng.Stop()
+		s.halt(now)
 		return
 	}
-	s.schedule(now.Add(simtime.Day), evDaily, nil, nil, nil, 0, 0)
+	sh.schedule(now.Add(simtime.Day), evDaily, nil, nil, nil, nil, 0, 0)
 }
 
-func (s *Simulation) monthlyTick() {
-	now := s.eng.Now()
+func (sh *shard) monthlyTick() {
+	s := sh.s
+	now := sh.eng.Now()
 	s.monthly = append(s.monthly, s.maxGroundTruthDeg(now))
 	if s.hooks.OnMonth != nil {
 		s.hooks.OnMonth(now, s.nodes)
 	}
-	s.schedule(now.Add(30*simtime.Day), evMonthly, nil, nil, nil, 0, 0)
+	sh.schedule(now.Add(30*simtime.Day), evMonthly, nil, nil, nil, nil, 0, 0)
 }
 
 func (s *Simulation) maxGroundTruthDeg(now simtime.Time) float64 {
@@ -431,13 +474,15 @@ func (s *Simulation) maxGroundTruthDeg(now simtime.Time) float64 {
 
 // generate handles one packet generation at a node: abort any stale
 // in-flight packet, run the MAC decision, and schedule the transmission
-// attempt and the next generation.
-func (s *Simulation) generate(n *Node) {
-	now := s.eng.Now()
+// attempt and the next generation. It runs on the node's owner lane,
+// like every other per-node handler.
+func (sh *shard) generate(n *Node) {
+	s := sh.s
+	now := sh.eng.Now()
 	n.integrate(now)
 
 	if n.pkt != nil && !n.pkt.finished {
-		s.finish(n, n.pkt, false, now)
+		sh.finish(n, n.pkt, false, now)
 	}
 
 	n.Stats.Generated++
@@ -456,7 +501,7 @@ func (s *Simulation) generate(n *Node) {
 		}
 	} else {
 		window := mathx.ClampInt(dec.Window, 0, n.Windows-1)
-		pkt := s.newPacket()
+		pkt := sh.newPacket()
 		pkt.genAt = now
 		pkt.deadline = now.Add(n.Period)
 		pkt.window = window
@@ -470,10 +515,10 @@ func (s *Simulation) generate(n *Node) {
 			}
 		}
 		at := now.Add(simtime.Duration(window)*s.cfg.ForecastWindow + offset)
-		s.schedule(at, evAttempt, n, pkt, nil, 0, 0)
+		sh.schedule(at, evAttempt, n, pkt, nil, nil, 0, 0)
 	}
 
-	s.schedule(now.Add(n.Period), evGenerate, n, nil, nil, 0, 0)
+	sh.schedule(now.Add(n.Period), evGenerate, n, nil, nil, nil, 0, 0)
 }
 
 // attemptSpan is the worst-case duration of one attempt: airtime plus
@@ -485,11 +530,12 @@ func attemptSpan(n *Node) simtime.Duration { return n.span }
 // it, deferring window by window otherwise. gen is the packet life the
 // triggering event was scheduled for; a mismatch means the packet was
 // recycled since.
-func (s *Simulation) attempt(n *Node, pkt *packet, gen uint64) {
+func (sh *shard) attempt(n *Node, pkt *packet, gen uint64) {
 	if pkt.gen != gen || pkt.finished || n.pkt != pkt {
 		return
 	}
-	now := s.eng.Now()
+	s := sh.s
+	now := sh.eng.Now()
 	n.integrate(now)
 
 	n.drainReports()
@@ -506,10 +552,10 @@ func (s *Simulation) attempt(n *Node, pkt *packet, gen uint64) {
 		// or give up at the period boundary.
 		retry := now.Add(s.cfg.ForecastWindow)
 		if retry.Add(attemptSpan(n)).After(pkt.deadline) {
-			s.finish(n, pkt, false, now)
+			sh.finish(n, pkt, false, now)
 			return
 		}
-		s.schedule(retry, evAttempt, n, pkt, nil, 0, 0)
+		sh.schedule(retry, evAttempt, n, pkt, nil, nil, 0, 0)
 		return
 	}
 
@@ -520,32 +566,46 @@ func (s *Simulation) attempt(n *Node, pkt *packet, gen uint64) {
 	n.Stats.TxEnergyJ += txE
 
 	airtime := s.phy.Airtime(params.SF, payload)
-	tx := s.med.NewTransmission()
+	ch := n.ID % s.cfg.Channels
+	end := now.Add(airtime)
+	if n.borderPow != nil {
+		btx := sh.beginBorderUplink(n, ch, params.SF, now, end)
+		sh.schedule(end, evTxEnd, n, pkt, nil, btx, 0, 0)
+		return
+	}
+	tx := sh.med.NewTransmission()
 	tx.NodeID = n.ID
-	tx.Channel = n.ID % s.cfg.Channels
+	tx.Channel = ch
 	tx.SF = params.SF
 	tx.PowerDBm = n.rxPowerDBm
 	tx.Start = now
-	tx.End = now.Add(airtime)
-	s.med.BeginUplink(tx)
-	s.schedule(tx.End, evTxEnd, n, pkt, tx, 0, 0)
+	tx.End = end
+	sh.med.BeginUplink(tx)
+	sh.schedule(end, evTxEnd, n, pkt, tx, nil, 0, 0)
 }
 
 // txEnd resolves one transmission attempt: gateway decoding, ACK
-// scheduling, or retransmission.
-func (s *Simulation) txEnd(n *Node, pkt *packet, gen uint64, tx *Transmission) {
+// scheduling, or retransmission. The medium is released first in
+// every path (it only touches radio state, which commutes with the
+// node-side accounting below), so stale and live packets share it.
+func (sh *shard) txEnd(n *Node, pkt *packet, gen uint64, tx *Transmission, btx *borderTx) {
+	s := sh.s
+	var gws []int
+	if btx != nil {
+		gws = sh.endBorderUplink(n, btx)
+	} else {
+		gws = sh.med.EndUplink(tx)
+	}
 	if pkt.gen != gen || pkt.finished || n.pkt != pkt {
-		s.med.EndUplink(tx)
 		return
 	}
-	now := s.eng.Now()
+	now := sh.eng.Now()
 	n.integrate(now)
 
 	// Receive windows cost energy whether or not an ACK arrives.
 	n.draw(n.rxEnergyJ)
 	pkt.radioEnergyJ += n.rxEnergyJ
 
-	gws := s.med.EndUplink(tx)
 	if len(gws) > 0 {
 		// The switch mirrors the original short-circuit chain exactly:
 		// GatewayDown draws no randomness and DropUplink is only consulted
@@ -571,9 +631,14 @@ func (s *Simulation) txEnd(n *Node, pkt *packet, gen uint64, tx *Transmission) {
 				rx1 := now.Add(rx1Delay)
 				ackEnd := rx1.Add(n.ackAirtime)
 				for _, gw := range gws {
-					if s.med.ReserveDownlink(gw, rx1, ackEnd) {
-						s.schedule(rx1, evDownlink, nil, nil, nil, gw, ackEnd)
-						s.schedule(ackEnd, evAckDone, n, pkt, nil, 0, 0)
+					// The downlink runs on the lane owning the gateway's radio
+					// (this lane for interior nodes; possibly another worker lane
+					// when the coordinator resolves a border uplink — always
+					// strictly in the future, so the barrier loop picks it up).
+					gl := s.laneForGW(gw)
+					if gl.med.ReserveDownlink(gw, rx1, ackEnd) {
+						gl.schedule(rx1, evDownlink, nil, nil, nil, nil, gw, ackEnd)
+						sh.schedule(ackEnd, evAckDone, n, pkt, nil, nil, 0, 0)
 						return
 					}
 				}
@@ -589,7 +654,7 @@ func (s *Simulation) txEnd(n *Node, pkt *packet, gen uint64, tx *Transmission) {
 			}
 		}
 	}
-	s.retryOrFail(n, pkt, now)
+	sh.retryOrFail(n, pkt, now)
 }
 
 // brownout restarts a node: any in-flight packet dies, the protocol's
@@ -597,12 +662,13 @@ func (s *Simulation) txEnd(n *Node, pkt *packet, gen uint64, tx *Transmission) {
 // backlog are lost, and the node re-registers with the gateway, which
 // keeps its accumulated degradation history. The energy cost of the
 // rejoin exchange is charged to the battery.
-func (s *Simulation) brownout(n *Node) {
-	now := s.eng.Now()
+func (sh *shard) brownout(n *Node) {
+	s := sh.s
+	now := sh.eng.Now()
 	n.integrate(now)
 
 	if n.pkt != nil && !n.pkt.finished {
-		s.finish(n, n.pkt, false, now)
+		sh.finish(n, n.pkt, false, now)
 	}
 	n.Proto.Reset()
 	n.pendingTrans = n.pendingTrans[:0]
@@ -622,40 +688,42 @@ func (s *Simulation) brownout(n *Node) {
 	// scheduled; modelling a reboot-time phase shift would desynchronize
 	// the pooled generate events for marginal realism.
 	if at, ok := s.plan.NextBrownout(n.ID, now); ok {
-		s.schedule(at, evBrownout, n, nil, nil, 0, 0)
+		sh.schedule(at, evBrownout, n, nil, nil, nil, 0, 0)
 	}
 }
 
-func (s *Simulation) retryOrFail(n *Node, pkt *packet, now simtime.Time) {
-	if pkt.attempts >= s.cfg.MaxAttempts {
-		s.finish(n, pkt, false, now)
+func (sh *shard) retryOrFail(n *Node, pkt *packet, now simtime.Time) {
+	if pkt.attempts >= sh.s.cfg.MaxAttempts {
+		sh.finish(n, pkt, false, now)
 		return
 	}
 	backoff := 500*simtime.Millisecond + simtime.Duration(n.rng.Int64N(int64(2*simtime.Second)))
 	retry := now.Add(rxWindowsSpan + backoff)
 	if retry.After(pkt.deadline) {
-		s.finish(n, pkt, false, now)
+		sh.finish(n, pkt, false, now)
 		return
 	}
-	s.schedule(retry, evAttempt, n, pkt, nil, 0, 0)
+	sh.schedule(retry, evAttempt, n, pkt, nil, nil, 0, 0)
 }
 
 // ackDelivered completes a packet successfully: the ACK carries the
 // gateway's latest normalized degradation for this node.
-func (s *Simulation) ackDelivered(n *Node, pkt *packet, gen uint64) {
+func (sh *shard) ackDelivered(n *Node, pkt *packet, gen uint64) {
 	if pkt.gen != gen || pkt.finished || n.pkt != pkt {
 		return
 	}
-	now := s.eng.Now()
+	s := sh.s
+	now := sh.eng.Now()
 	n.integrate(now)
 	n.Proto.OnDegradationUpdate(now, s.server.NormalizedDegradation(n.ID))
 	n.pendingTrans = n.pendingTrans[:0] // reports delivered
-	s.finish(n, pkt, true, now)
+	sh.finish(n, pkt, true, now)
 }
 
 // finish settles a packet's fate and updates metrics and protocol
 // learning.
-func (s *Simulation) finish(n *Node, pkt *packet, delivered bool, now simtime.Time) {
+func (sh *shard) finish(n *Node, pkt *packet, delivered bool, now simtime.Time) {
+	s := sh.s
 	pkt.finished = true
 	n.pkt = nil
 
@@ -681,7 +749,7 @@ func (s *Simulation) finish(n *Node, pkt *packet, delivered bool, now simtime.Ti
 	if s.hooks.OnPacketDone != nil {
 		s.hooks.OnPacketDone(n.ID, delivered, pkt.attempts, pkt.window)
 	}
-	s.releasePacket(pkt)
+	sh.releasePacket(pkt)
 }
 
 // rxPowers computes the node's static received power at every gateway.
