@@ -14,7 +14,7 @@ BENCHTIME ?= 1s
 # nothing on a constrained runner. NPROC=4 overrides the probe width.
 NPROC     ?= $(shell nproc)
 
-.PHONY: all build test race vet bench clean
+.PHONY: all build test race vet bench profile clean
 
 all: build test
 
@@ -42,5 +42,23 @@ bench: build
 	GOMAXPROCS=$(NPROC) $(GO) test -run '^$$' -bench '$(BENCHRE)' -benchmem -count $(COUNT) -benchtime $(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -out BENCH_$(DATE).json $(BENCHJSONFLAGS)
 
+# Single-run hot-path profiling: BenchmarkSweep1000Nodes under the CPU
+# and heap profilers, followed by the top-10 flat entries of each — the
+# quickest read on where the next single-core sim-days/s win lives.
+# PROFRE narrows differently (`make profile PROFRE=SimulatorYear`);
+# profiles land in ./prof/ for interactive follow-up
+# (`go tool pprof prof/cpu.out`).
+PROFRE ?= Sweep1000Nodes
+
+profile: build
+	mkdir -p prof
+	GOMAXPROCS=$(NPROC) $(GO) test -run '^$$' -bench '$(PROFRE)' -benchmem -count 1 -benchtime $(BENCHTIME) \
+		-cpuprofile prof/cpu.out -memprofile prof/mem.out .
+	@echo '--- cpu top 10 (flat) ---'
+	$(GO) tool pprof -top -nodecount=10 prof/cpu.out
+	@echo '--- heap top 10 (alloc_space, flat) ---'
+	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_space prof/mem.out
+
 clean:
 	rm -f BENCH_*.json
+	rm -rf prof

@@ -1,0 +1,60 @@
+package repro_test
+
+// Allocation smoke gate for the struct-of-arrays node core (PR 7).
+// BenchmarkSweep1000Nodes allocs/op is the machine-independent half of
+// the single-run throughput story: the PR 6 baseline
+// (BENCH_2026-08-08.json) recorded 108,632 allocs for a 1000-node
+// simulated day, and the SoA core plus idle-span skipping must keep
+// that at least halved. A plain short-mode test pins the ratio so the
+// regression fails in `go test ./...` directly, without the bench
+// harness or a same-machine baseline.
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+)
+
+// pr6SweepAllocs is BenchmarkSweep1000Nodes allocs/op from the PR 6
+// baseline record, BENCH_2026-08-08.json.
+const pr6SweepAllocs = 108_632
+
+func TestSweep1000NodesAllocsHalvedVsPR6(t *testing.T) {
+	cfg := config.Default().WithSeed(9)
+	cfg.Nodes = 1000
+	cfg.Duration = simtime.Day
+
+	run := func() {
+		s, err := sim.New(cfg, sim.Hooks{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm pass, mirroring the benchmark's warmSim: the first run in a
+	// process pays one-off costs (profile caches, event pools) the
+	// committed baseline amortizes away.
+	run()
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	run()
+	runtime.ReadMemStats(&after)
+	allocs := after.Mallocs - before.Mallocs
+
+	// ≥ 2x drop vs PR 6, with the small slack absorbing background
+	// runtime allocations that ReadMemStats deltas cannot exclude.
+	limit := uint64(pr6SweepAllocs / 2)
+	if allocs >= limit {
+		t.Fatalf("1000-node day = %d allocs, want < %d (2x below the PR 6 figure of %d)",
+			allocs, limit, pr6SweepAllocs)
+	}
+	t.Logf("1000-node day: %d allocs (PR 6 baseline %d, %.2fx reduction)",
+		allocs, pr6SweepAllocs, float64(pr6SweepAllocs)/float64(allocs))
+}

@@ -77,9 +77,10 @@ type Record struct {
 	// with, so the speedup can be judged against the available cores.
 	SweepParallelCPUs int `json:"sweep_parallel_cpus,omitempty"`
 	// ScaleLadder collects the sim-days/s throughput of every Sweep*Nodes
-	// rung present in the run (1k, 10k, 100k), the single-machine scaling
-	// headline. Each rung is also diffed against the baseline like any
-	// other "/s" metric when -nsregress is set.
+	// rung present in the run (1k, 10k, 100k) plus the SimulatorYear
+	// long-horizon rung, the single-machine scaling headline. Each rung
+	// is also diffed against the baseline like any other "/s" metric
+	// when -nsregress is set.
 	ScaleLadder map[string]float64 `json:"scale_ladder,omitempty"`
 	// Baseline is the prior record this run was diffed against.
 	Baseline string `json:"baseline,omitempty"`
@@ -129,16 +130,7 @@ func main() {
 		rec.SweepParallelSpeedup = w1.NsPerOp / wMax.NsPerOp
 		rec.SweepParallelCPUs = wMax.CPUs
 	}
-	for _, name := range []string{"Sweep1000Nodes", "Sweep10kNodes", "Sweep100kNodes"} {
-		if b := find(rec.Benchmarks, name); b != nil {
-			if v, ok := b.Metrics["sim-days/s"]; ok {
-				if rec.ScaleLadder == nil {
-					rec.ScaleLadder = make(map[string]float64)
-				}
-				rec.ScaleLadder[name] = v
-			}
-		}
-	}
+	rec.ScaleLadder = buildScaleLadder(rec.Benchmarks)
 
 	path := *out
 	if path == "" {
@@ -315,6 +307,25 @@ func readRecord(path string) (*Record, error) {
 		return nil, err
 	}
 	return &rec, nil
+}
+
+// buildScaleLadder extracts the sim-days/s value of each scale-ladder
+// rung present in the run: the three Sweep*Nodes network sizes plus the
+// SimulatorYear long-horizon single run. Rungs missing from the run (or
+// not reporting the metric) are simply absent; nil means no rung ran.
+func buildScaleLadder(bs []Benchmark) map[string]float64 {
+	var ladder map[string]float64
+	for _, name := range []string{"Sweep1000Nodes", "Sweep10kNodes", "Sweep100kNodes", "SimulatorYear"} {
+		if b := find(bs, name); b != nil {
+			if v, ok := b.Metrics["sim-days/s"]; ok {
+				if ladder == nil {
+					ladder = make(map[string]float64)
+				}
+				ladder[name] = v
+			}
+		}
+	}
+	return ladder
 }
 
 func find(bs []Benchmark, name string) *Benchmark {

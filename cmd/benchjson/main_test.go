@@ -167,3 +167,25 @@ func TestDiffRecordsGatesThroughputDecline(t *testing.T) {
 		t.Errorf("throughput improvement flagged: %+v", regs)
 	}
 }
+
+func TestBuildScaleLadderIncludesSimulatorYear(t *testing.T) {
+	bs := []Benchmark{
+		{Name: "Sweep1000Nodes", Metrics: map[string]float64{"sim-days/s": 5.9}},
+		{Name: "SimulatorYear", Metrics: map[string]float64{"sim-days/s": 85.2}},
+		{Name: "SimulatorDay"}, // not a ladder rung
+		{Name: "Sweep10kNodes", Metrics: map[string]float64{"prr": 0.98}}, // no throughput metric
+	}
+	ladder := buildScaleLadder(bs)
+	want := map[string]float64{"Sweep1000Nodes": 5.9, "SimulatorYear": 85.2}
+	if len(ladder) != len(want) {
+		t.Fatalf("ladder = %v, want %v", ladder, want)
+	}
+	for k, v := range want {
+		if ladder[k] != v {
+			t.Errorf("ladder[%q] = %v, want %v", k, ladder[k], v)
+		}
+	}
+	if buildScaleLadder(nil) != nil {
+		t.Error("empty run should produce a nil ladder (omitted from JSON)")
+	}
+}

@@ -112,13 +112,26 @@ type StressCache struct {
 	socStress float64 // e^{K2 (socAt - K3)}, valid when socValid
 	socAt     float64
 	socValid  bool
+
+	// socStressMax is the largest SoC stress factor any mean SoC in [0,1]
+	// can produce: the exponential is monotone, so the maximum sits at an
+	// endpoint (which one depends on the sign of K2).
+	socStressMax float64
 }
 
 // NewStressCache returns a cache for the given model pinned at a fixed
 // average battery temperature in Celsius.
 func NewStressCache(m Model, tempC float64) *StressCache {
-	return &StressCache{model: m, tempStress: m.TempStress(tempC)}
+	return &StressCache{
+		model:        m,
+		tempStress:   m.TempStress(tempC),
+		socStressMax: math.Max(math.Exp(m.K2*(1-m.K3)), math.Exp(-m.K2*m.K3)),
+	}
 }
+
+// SocStressMax returns the precomputed upper bound of the SoC stress
+// factor over all mean SoC values in [0,1].
+func (c *StressCache) SocStressMax() float64 { return c.socStressMax }
 
 // TempStress returns the cached temperature stress factor.
 func (c *StressCache) TempStress() float64 { return c.tempStress }

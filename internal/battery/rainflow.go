@@ -84,7 +84,14 @@ type Counter struct {
 	n     int    // raw samples seen
 	rev   uint64 // bumped whenever the pending-cycle state may change
 
-	pendStack []float64 // scratch reused by AppendPending
+	// Per-call scratch, reused to keep the push and degradation-query
+	// paths allocation-free.
+	probe     [1]float64  // pushTurningPoint's one-point extraction input
+	emitFn    func(Cycle) // cached c.emit method value; built once
+	pendStack []float64   // AppendPending's working copy of the residue stack
+	pendProbe [1]float64  // AppendPending's one-point extraction probe
+	pendOut   []Cycle     // cycles emitted by the probe extraction
+	pendEmit  func(Cycle) // appends to pendOut; built once, not per call
 }
 
 // Push feeds the next SoC sample into the counter.
@@ -119,8 +126,42 @@ func (c *Counter) Push(v float64) {
 // changed. It lets callers memoize results on exact inputs.
 func (c *Counter) Revision() uint64 { return c.rev }
 
+// ExtendRun collapses k consecutive Push calls that provably continue
+// the current monotone run: every collapsed sample lies between the
+// current provisional extremum and v, ordered in the established
+// direction (equal neighbours permitted — those pushes are no-ops).
+// Interior points of a monotone run are never turning points, so the
+// stack and direction are untouched; the extremum advances to v, the
+// sample count by k, and the revision bumps when the extremum moved.
+// The caller owns the precondition: the run must not reverse or
+// establish a direction (c.dir != 0 and sign(v-last) is c.dir or 0).
+// Battery.DischargeRun is the only intended user.
+func (c *Counter) ExtendRun(v float64, k int) {
+	if k <= 0 {
+		return
+	}
+	c.n += k
+	if v == c.last {
+		return
+	}
+	c.last = v
+	c.rev++
+}
+
 func (c *Counter) pushTurningPoint(p float64) {
-	c.stack = extract(c.stack, []float64{p}, c.emit)
+	// The probe slice and the emit callback are cached on the counter: a
+	// `[]float64{p}` literal and a `c.emit` method value would both heap
+	// allocate on every turning point of a multi-year run.
+	if c.emitFn == nil {
+		c.emitFn = c.emit
+	}
+	if c.stack == nil {
+		// Skip the early doubling steps; shallow-cycling batteries keep
+		// a residue stack of at most a handful of extrema.
+		c.stack = make([]float64, 0, 16)
+	}
+	c.probe[0] = p
+	c.stack = extract(c.stack, c.probe[:], c.emitFn)
 }
 
 func (c *Counter) emit(cy Cycle) {
@@ -144,19 +185,38 @@ func (c *Counter) PendingCycles() []Cycle {
 // AppendPending appends the pending cycles (see PendingCycles) to dst
 // and returns it, reusing dst's capacity. The degradation tracker calls
 // this on every battery operation of a multi-year run, so the
-// allocation-free form matters; the working stack copy is scratch kept
-// inside the counter.
+// allocation-free form matters: the working stack copy, the one-point
+// probe, and the extraction output all live in scratch kept inside the
+// counter (a closure over dst, or a slice literal for the probe, would
+// cost heap allocations on every call).
 func (c *Counter) AppendPending(dst []Cycle) []Cycle {
 	if c.n == 0 {
 		return dst
 	}
+	if need := len(c.stack) + 1; cap(c.pendStack) < need {
+		// Doubling matters: the residue stack grows one element per
+		// turning point, so an exact-fit buffer would fall short again
+		// on the very next query.
+		c.pendStack = make([]float64, 0, max(2*need, 16))
+	}
 	stack := append(c.pendStack[:0], c.stack...)
+	c.pendOut = c.pendOut[:0] // must reset either way: appended below unconditionally
 	if len(stack) == 0 || stack[len(stack)-1] != c.last {
-		stack = extract(stack, []float64{c.last}, func(cy Cycle) {
-			dst = append(dst, cy)
-		})
+		if c.pendEmit == nil {
+			c.pendEmit = func(cy Cycle) { c.pendOut = append(c.pendOut, cy) }
+			c.pendOut = make([]Cycle, 0, 16)
+		}
+		c.pendProbe[0] = c.last
+		stack = extract(stack, c.pendProbe[:], c.pendEmit)
 	}
 	c.pendStack = stack[:0]
+	halves := max(len(stack)-1, 0)
+	if need := len(dst) + len(c.pendOut) + halves; cap(dst) < need {
+		nd := make([]Cycle, len(dst), max(2*need, 8))
+		copy(nd, dst)
+		dst = nd
+	}
+	dst = append(dst, c.pendOut...)
 	for i := 0; i+1 < len(stack); i++ {
 		dst = append(dst, newCycle(stack[i], stack[i+1], 0.5))
 	}

@@ -33,6 +33,10 @@ type Store interface {
 	// DrainTransitions returns and clears the battery's reportable SoC
 	// transitions.
 	DrainTransitions() []Transition
+	// AppendTransitions appends the reportable SoC transitions to dst,
+	// clears the pending list, and returns dst; unlike DrainTransitions
+	// it keeps the internal buffer for reuse.
+	AppendTransitions(dst []Transition) []Transition
 }
 
 var _ Store = (*Battery)(nil)
@@ -138,3 +142,8 @@ func (h *Hybrid) AtEoL(now simtime.Time) bool { return h.batt.AtEoL(now) }
 
 // DrainTransitions implements Store.
 func (h *Hybrid) DrainTransitions() []Transition { return h.batt.DrainTransitions() }
+
+// AppendTransitions implements Store.
+func (h *Hybrid) AppendTransitions(dst []Transition) []Transition {
+	return h.batt.AppendTransitions(dst)
+}

@@ -122,6 +122,35 @@ func (t *Tracker) Degradation(age simtime.Duration) float64 {
 	return t.Damage(age).Total
 }
 
+// DegradationCeiling returns an upper bound of Degradation(age') for
+// every age' at or before age, valid not just for the current SoC
+// history but for ANY continuation of it by a monotone run — pushes that
+// move the provisional extremum without creating a new turning point.
+// Along such a run the residue stack is frozen, so:
+//
+//   - closed cycle aggregates cannot change (cycles retire only when a
+//     turning point is pushed);
+//   - pending cycle raw (sum of eta·delta·phi) is at most len(stack):
+//     AppendPending's extraction charges at most 0.5 per stack element
+//     it consumes (a full cycle scores <= 1 and removes two elements, a
+//     residue half scores <= 0.5 and removes one), and the leftover
+//     residue pairs score <= 0.5 each — with SoC, delta, and phi all in
+//     [0,1];
+//   - the cycle-mean SoC is a weighted mean of values in [0,1], so the
+//     calendar SoC stress is at most the model's endpoint maximum;
+//   - calendar aging grows monotonically with age, so evaluating the
+//     bound at the span's end covers every earlier instant.
+//
+// The Eq. (4) nonlinearity is monotone, so feeding it the bounded linear
+// degradation bounds the observed fade. Batteries use this to prove
+// whole charge spans accept-in-full without per-minute degradation
+// queries (see Battery.FullAcceptLimit).
+func (t *Tracker) DegradationCeiling(age simtime.Duration) float64 {
+	rawUB := t.closedRaw + float64(len(t.counter.stack))
+	calUB := t.model.K1 * age.Seconds() * t.stress.SocStressMax() * t.stress.TempStress()
+	return t.model.Nonlinear(calUB + t.stress.CycleAgingRaw(rawUB))
+}
+
 // Model returns the degradation model the tracker was built with.
 func (t *Tracker) Model() Model { return t.model }
 

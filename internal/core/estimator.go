@@ -88,11 +88,14 @@ func NewRetxHistory(windows, maxRetx int) (*RetxHistory, error) {
 	if maxRetx < 0 {
 		return nil, fmt.Errorf("core: negative max retransmissions %d", maxRetx)
 	}
+	// counts and selected share one allocation (same element type, same
+	// lifetime); a simulation builds one history per node.
+	cs := make([]uint32, windows*(maxRetx+1)+windows)
 	return &RetxHistory{
 		maxRetx:  maxRetx,
 		windows:  windows,
-		counts:   make([]uint32, windows*(maxRetx+1)),
-		selected: make([]uint32, windows),
+		counts:   cs[:windows*(maxRetx+1):windows*(maxRetx+1)],
+		selected: cs[windows*(maxRetx+1):],
 		weighted: make([]uint64, windows),
 		attempts: make([]float64, windows),
 	}, nil
@@ -153,13 +156,39 @@ func (h *RetxHistory) ExpectedAttempts(window int) float64 {
 	if a := h.attempts[window]; a != 0 {
 		return a
 	}
-	s := h.selected[window]
-	if s == 0 {
-		return 1
+	return h.fillAttempts(window)
+}
+
+// fillAttempts computes and memoizes the expected attempt count of a
+// window, including the no-history prior (genuine values are always
+// >= 1, so 0 stays free as the not-cached marker and Observe/Reset
+// invalidate by zeroing).
+func (h *RetxHistory) fillAttempts(window int) float64 {
+	a := 1.0
+	if s := h.selected[window]; s != 0 {
+		a = 1 + float64(h.weighted[window])/float64(s)
 	}
-	a := 1 + float64(h.weighted[window])/float64(s)
 	h.attempts[window] = a
 	return a
+}
+
+// AttemptsVec returns the expected attempt counts of windows [0, n) as
+// one slice — the memo itself, refreshed where invalidated — letting the
+// per-packet decision read all factors without a method call per window.
+// The slice aliases the memo: it is read-only and valid until the next
+// Observe or Reset. A request beyond the tracked window range returns
+// nil (callers fall back to per-window queries, which clamp).
+func (h *RetxHistory) AttemptsVec(n int) []float64 {
+	if n > h.windows {
+		return nil
+	}
+	v := h.attempts[:n]
+	for t, a := range v {
+		if a == 0 {
+			v[t] = h.fillAttempts(t)
+		}
+	}
+	return v
 }
 
 // Selections returns how many packets were observed for the window.

@@ -67,11 +67,9 @@ type Selector struct {
 	utility utility.Function
 	weightB float64
 
-	// scratch buffers reused across Select calls to keep the decision
-	// path allocation-free on the node.
-	gamma []float64
-	dif   []float64
-	mu    []float64
+	// mu is the per-window utility scratch reused across Select calls to
+	// keep the decision path allocation-free on the node.
+	mu []float64
 	// muN is the window count the mu buffer currently holds values for.
 	// utility.Value(t, n) is a pure function of (t, n), so the per-window
 	// utilities only change when the window count does.
@@ -111,47 +109,81 @@ func (s *Selector) Select(in Inputs) (Decision, error) {
 	if err := in.Validate(); err != nil {
 		return Decision{}, err
 	}
-	n := len(in.ForecastGen)
-	s.resize(n)
+	return s.run(in.StoredEnergy, in.NormalizedDegradation, in.ForecastGen, in.EstTxEnergy, 0, nil, in.MaxTxEnergy), nil
+}
 
-	// A window whose cumulative energy exactly covers the estimated
-	// transmission cost is feasible: the battery ends the attempt empty
-	// but the transmission is funded (Algorithm 1's psi + sum E_g >= e_tx).
+// SelectEst runs Algorithm 1 with the per-window transmission-energy
+// estimate computed on the fly as baseTx·attempts[t] (or baseTx alone
+// when attempts is nil — an attempt factor of exactly 1). It is the
+// fused form of filling an e_tx slice and calling Select: the arithmetic
+// is term-for-term identical — x·1.0 is exact, and the product order
+// matches the materialized fill — but the decision touches one slice
+// pass fewer and no intermediate buffer, which matters on the per-packet
+// hot path. attempts, when non-nil, must have at least len(forecast)
+// elements.
+func (s *Selector) SelectEst(stored, wu float64, forecast []float64, baseTx float64, attempts []float64, maxTx float64) (Decision, error) {
+	switch {
+	case len(forecast) == 0:
+		return Decision{}, fmt.Errorf("core: no forecast windows")
+	case attempts != nil && len(attempts) < len(forecast):
+		return Decision{}, fmt.Errorf("core: %d attempt factors for %d windows", len(attempts), len(forecast))
+	case maxTx <= 0:
+		return Decision{}, fmt.Errorf("core: non-positive max transmission energy %v", maxTx)
+	case stored < 0:
+		return Decision{}, fmt.Errorf("core: negative stored energy %v", stored)
+	case wu < 0 || wu > 1:
+		return Decision{}, fmt.Errorf("core: normalized degradation %v outside [0,1]", wu)
+	}
+	return s.run(stored, wu, forecast, nil, baseTx, attempts, maxTx), nil
+}
+
+// run is the shared Algorithm 1 pass. Exactly one of estTx (materialized
+// estimates) and baseTx/attempts (computed per window) supplies e_tx[t].
+//
+// A window whose cumulative energy exactly covers the estimated
+// transmission cost is feasible: the battery ends the attempt empty
+// but the transmission is funded (Algorithm 1's psi + sum E_g >= e_tx).
+func (s *Selector) run(stored, wu float64, forecast, estTx []float64, baseTx float64, attempts []float64, maxTx float64) Decision {
+	n := len(forecast)
+	s.sizeMu(n)
 	best := -1
-	var bestG float64
-	cum := in.StoredEnergy
+	var bestG, bestD float64
+	cum := stored
 	for t := 0; t < n; t++ {
-		gen := in.ForecastGen[t]
+		gen := forecast[t]
 		cum += max(0, gen)
-		d := DIF(in.EstTxEnergy[t], gen, in.MaxTxEnergy)
-		s.dif[t] = d
-		g := (1 - s.mu[t]) + in.NormalizedDegradation*d*s.weightB
-		s.gamma[t] = g
-		if cum-in.EstTxEnergy[t] >= 0 && (best < 0 || g < bestG) {
-			best, bestG = t, g
+		var e float64
+		switch {
+		case estTx != nil:
+			e = estTx[t]
+		case attempts != nil:
+			e = baseTx * attempts[t]
+		default:
+			e = baseTx
+		}
+		d := DIF(e, gen, maxTx)
+		g := (1 - s.mu[t]) + wu*d*s.weightB
+		if cum-e >= 0 && (best < 0 || g < bestG) {
+			best, bestG, bestD = t, g, d
 		}
 	}
 	if best < 0 {
-		return Decision{}, nil
+		return Decision{}
 	}
 	return Decision{
 		OK:        true,
 		Window:    best,
-		Objective: s.gamma[best],
-		DIF:       s.dif[best],
+		Objective: bestG,
+		DIF:       bestD,
 		Utility:   s.mu[best],
-	}, nil
+	}
 }
 
-func (s *Selector) resize(n int) {
-	if cap(s.gamma) < n {
-		s.gamma = make([]float64, n)
-		s.dif = make([]float64, n)
+func (s *Selector) sizeMu(n int) {
+	if cap(s.mu) < n {
 		s.mu = make([]float64, n)
 		s.muN = 0
 	} else {
-		s.gamma = s.gamma[:n]
-		s.dif = s.dif[:n]
 		s.mu = s.mu[:n]
 	}
 	if s.muN != n {

@@ -1,6 +1,7 @@
 package energy
 
 import (
+	"math"
 	"math/rand/v2"
 	"sync"
 
@@ -95,7 +96,11 @@ const minutesPerDay = 24 * 60
 // over the window. It uses only locally available history, matching the
 // constraints the paper places on node-side forecasting.
 type DiurnalEWMA struct {
-	alpha   float64
+	alpha float64
+	// touched records whether any observation was ever folded in; a
+	// pristine profile (never touched) lets Prime consult its cache
+	// without scanning the seen array.
+	touched bool
 	profile [minutesPerDay]float64
 	seen    [minutesPerDay]bool
 	buf     []float64 // reused across ForecastWindows calls
@@ -107,6 +112,22 @@ var _ Forecaster = (*DiurnalEWMA)(nil)
 // (weight of the newest observation); alpha is clamped into (0,1].
 func NewDiurnalEWMA(alpha float64) *DiurnalEWMA {
 	return &DiurnalEWMA{alpha: min(1, max(1e-3, alpha))}
+}
+
+// NewDiurnalEWMABank returns n independent forecasters backed by one
+// contiguous allocation. A profile is ~13 KB, so a large simulation
+// constructing one per node pays thousands of separate allocations (and
+// the garbage collector tracks as many objects) for state with
+// identical lifetime; the bank form is one slab. The elements must not
+// be copied once observations start (the slices/arrays inside are
+// per-element state), which nodes never do — each keeps a pointer.
+func NewDiurnalEWMABank(alpha float64, n int) []DiurnalEWMA {
+	bank := make([]DiurnalEWMA, n)
+	a := min(1, max(1e-3, alpha))
+	for i := range bank {
+		bank[i].alpha = a
+	}
+	return bank
 }
 
 // Observe implements Forecaster: the average power over [from, to) is
@@ -124,6 +145,7 @@ func (f *DiurnalEWMA) Observe(from, to simtime.Time, energyJ float64) {
 	if to <= from {
 		return
 	}
+	f.touched = true
 	const minuteT = simtime.Time(simtime.Minute)
 	if from >= 0 && from%minuteT == 0 && to-from == minuteT {
 		// Fast path for the integrator's dominant call shape: exactly
@@ -176,6 +198,7 @@ func (f *DiurnalEWMA) Observe(from, to simtime.Time, energyJ float64) {
 // already computed by the caller (the node integrator tracks the minute
 // cursor anyway) and performs the identical arithmetic.
 func (f *DiurnalEWMA) ObserveFullSlot(slot int, energyJ float64) {
+	f.touched = true
 	power := energyJ / 60.0
 	if !f.seen[slot] {
 		f.profile[slot] = power
@@ -183,6 +206,16 @@ func (f *DiurnalEWMA) ObserveFullSlot(slot int, energyJ float64) {
 		return
 	}
 	f.profile[slot] = f.alpha*power + (1-f.alpha)*f.profile[slot]
+}
+
+// SlotZeroNoop reports whether a zero-energy full-slot observation
+// would leave the slot bit-identical: the slot is seen and holds +0, so
+// the fold writes alpha·(+0) + (1-alpha)·(+0) = +0 back. (A -0 profile
+// value — impossible from non-negative harvests, but checked anyway —
+// would flip sign bits and must take the real fold.) The integrator
+// uses this to collapse idle night spans without touching the profile.
+func (f *DiurnalEWMA) SlotZeroNoop(slot int) bool {
+	return f.seen[slot] && f.profile[slot] == 0 && !math.Signbit(f.profile[slot])
 }
 
 // ForecastWindows implements Forecaster. Consecutive windows are walked
@@ -290,10 +323,7 @@ func (f *DiurnalEWMA) Prime(src Source, days int) {
 	if ns, ok := src.(*nodeSource); ok {
 		// The cache is only sound for a pristine profile (the cached
 		// result assumes the fold started from the untrained state).
-		pristine := days > 0
-		for m := 0; pristine && m < minutesPerDay; m++ {
-			pristine = !f.seen[m]
-		}
+		pristine := days > 0 && !f.touched
 		var key primeKey
 		if pristine {
 			key = primeKey{
@@ -308,6 +338,7 @@ func (f *DiurnalEWMA) Prime(src Source, days int) {
 			cached := primeCache.m[key]
 			primeCache.Unlock()
 			if cached != nil {
+				f.touched = true
 				f.profile = *cached
 				for m := range f.seen {
 					f.seen[m] = true
@@ -317,6 +348,9 @@ func (f *DiurnalEWMA) Prime(src Source, days int) {
 		}
 		// In-package fast path: walk each training day's cached minute
 		// powers directly instead of going through the interface.
+		if days > 0 {
+			f.touched = true
+		}
 		for d := 0; d < days; d++ {
 			ns.ensureDay(int64(d))
 			mp := ns.minuteP
@@ -341,6 +375,9 @@ func (f *DiurnalEWMA) Prime(src Source, days int) {
 		return
 	}
 	if ms, ok := src.(MinuteSource); ok {
+		if days > 0 {
+			f.touched = true
+		}
 		for d := 0; d < days; d++ {
 			base := int64(d) * minutesPerDay
 			for m := 0; m < minutesPerDay; m++ {

@@ -249,6 +249,77 @@ func (yt *YearTrace) At(minute int64) float64 {
 // Config returns the trace configuration.
 func (yt *YearTrace) Config() SolarConfig { return yt.cfg }
 
+// factorFor returns the year-to-year variability factor, memoized for
+// the precomputed years and hashed on demand beyond them.
+func (yt *YearTrace) factorFor(year int64) float64 {
+	if year < int64(len(yt.yearFactor)) {
+		return yt.yearFactor[year]
+	}
+	return 0.92 + 0.16*hash01(yt.cfg.Seed, uint64(year), 0x9e77)
+}
+
+// DayBase caches the trace's year-adjusted base powers — the common
+// sub-expression of every node's per-day harvest-cache fill — for the
+// two most recent simulated days, so the float32 conversion and
+// year-factor clamp run once per (trace, day) instead of once per
+// (node, day). Two slots keyed by day parity suffice: the simulator's
+// lanes advance all their nodes through days monotonically, with
+// cursors never more than one day apart.
+//
+// A DayBase is not safe for concurrent use; the simulator gives each
+// event lane its own instance.
+type DayBase struct {
+	trace *YearTrace
+	day   [2]int64
+	base  [2][]float64
+	// zero marks 4-minute blocks whose base powers are all zero (night):
+	// node fills write +0 there without evaluating the per-node local
+	// cloud factor, which is exact because peakW·0·lf is +0 for any
+	// finite positive peakW and non-negative lf.
+	zero [2][]bool
+}
+
+// NewDayBase returns an empty per-lane day-base cache over the trace.
+func (yt *YearTrace) NewDayBase() *DayBase {
+	return &DayBase{trace: yt, day: [2]int64{-1, -1}}
+}
+
+// Day returns the base (normalized, year-adjusted) power of every minute
+// of the given simulated day and the per-4-minute-block all-zero marks.
+// The returned slices are the cache's internal storage: read-only, valid
+// until the next Day call with a different day of the same parity.
+func (db *DayBase) Day(day int64) (base []float64, zeroBlock []bool) {
+	slot := int(day & 1)
+	if db.day[slot] == day {
+		return db.base[slot], db.zero[slot]
+	}
+	if db.base[slot] == nil {
+		db.base[slot] = make([]float64, minutesPerDay)
+		db.zero[slot] = make([]bool, minutesPerDay/4)
+	}
+	b := db.base[slot]
+	start := day * minutesPerDay
+	year := start / minutesPerYear
+	samples := db.trace.samples[start%minutesPerYear : start%minutesPerYear+minutesPerDay]
+	if year == 0 {
+		for m := range b {
+			b[m] = float64(samples[m])
+		}
+	} else {
+		f := db.trace.factorFor(year)
+		for m := range b {
+			b[m] = min(1, float64(samples[m])*f)
+		}
+	}
+	zb := db.zero[slot]
+	for blk := range zb {
+		m := blk * 4
+		zb[blk] = b[m] == 0 && b[m+1] == 0 && b[m+2] == 0 && b[m+3] == 0
+	}
+	db.day[slot] = day
+	return b, zb
+}
+
 // NodeSource derives a node's harvest source from the shared trace.
 //
 // peakW is the panel's peak electrical power (the paper sizes it so peak
@@ -272,6 +343,7 @@ type nodeSource struct {
 	nodeID    uint64
 	peakW     float64
 	variation float64
+	db        *DayBase // shared per-lane day-base cache; nil falls back to per-node fills
 
 	// Rolling one-day harvest cache (see DESIGN.md "Harvest prefix
 	// cache"): minuteP holds the harvested power of every minute of
@@ -302,6 +374,24 @@ var _ MinuteSource = (*nodeSource)(nil)
 // minute and therefore always takes the exact path.
 const prefixSpanMinutes = 16
 
+// SetDayBase attaches a shared day-base cache; subsequent per-day fills
+// read the year-adjusted base powers from it instead of re-deriving them
+// from the float32 trace. The fill expressions are unchanged term for
+// term, so the cached powers are bit-identical with or without it.
+func (s *nodeSource) SetDayBase(db *DayBase) { s.db = db }
+
+// SetMinuteBuf hands the rolling cache a caller-owned backing slice of
+// length minutesPerDay, letting a simulation carve per-node views out
+// of one contiguous slab instead of paying a lazy ~11.5 KB allocation
+// per node inside ensureDay. Ignored once the cache already has a
+// buffer (the fill logic is unaffected either way — only the backing
+// store changes). The caller must not share one slice between sources.
+func (s *nodeSource) SetMinuteBuf(buf []float64) {
+	if s.minuteP == nil && len(buf) == minutesPerDay {
+		s.minuteP = buf
+	}
+}
+
 // ensureDay (re)fills the rolling cache for the given simulated day.
 func (s *nodeSource) ensureDay(day int64) {
 	if s.cacheDay == day {
@@ -309,6 +399,11 @@ func (s *nodeSource) ensureDay(day int64) {
 	}
 	if s.minuteP == nil {
 		s.minuteP = make([]float64, minutesPerDay)
+	}
+	if s.db != nil {
+		s.fillFromBase(day)
+		s.cacheDay = day
+		return
 	}
 	base := day * minutesPerDay
 	// A day never straddles a year boundary (the year is a whole number
@@ -359,6 +454,38 @@ func (s *nodeSource) ensureDay(day int64) {
 		}
 	}
 	s.cacheDay = day
+}
+
+// fillFromBase fills the per-minute cache from the shared day base.
+// Every variant evaluates peakW * base * lf with the same operand values
+// and association as the trace-direct fill (base[m] is exactly
+// float64(samples[m]) in year 0 and min(1, float64(samples[m])*f)
+// after), so the result is bit-identical. Blocks that are all zero skip
+// the local-factor hash: the product is +0 either way.
+func (s *nodeSource) fillFromBase(day int64) {
+	base, zeroBlk := s.db.Day(day)
+	if s.variation == 0 {
+		for m := 0; m < minutesPerDay; m++ {
+			s.minuteP[m] = s.peakW * base[m] * 1.0
+		}
+		return
+	}
+	seed := s.trace.cfg.Seed
+	nid := s.nodeID + 0x5bd1e995
+	block := uint64(day * minutesPerDay >> 2)
+	for m := 0; m < minutesPerDay; m += 4 {
+		if zeroBlk[m>>2] {
+			s.minuteP[m], s.minuteP[m+1], s.minuteP[m+2], s.minuteP[m+3] = 0, 0, 0, 0
+			block++
+			continue
+		}
+		lf := 1 + s.variation*(2*hash01(seed, nid, block)-1)
+		block++
+		s.minuteP[m] = s.peakW * base[m] * lf
+		s.minuteP[m+1] = s.peakW * base[m+1] * lf
+		s.minuteP[m+2] = s.peakW * base[m+2] * lf
+		s.minuteP[m+3] = s.peakW * base[m+3] * lf
+	}
 }
 
 // ensurePrefix derives the running-sum table for the cached day. The

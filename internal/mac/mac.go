@@ -286,31 +286,30 @@ func (p *BLA) DecideTx(gen simtime.Time, windows int, storedJ float64) Decision 
 	}
 	forecast := p.cfg.Forecaster.ForecastWindows(gen, p.cfg.Window, windows)
 
-	if cap(p.estTx) < windows {
-		p.estTx = make([]float64, windows)
-	}
-	p.estTx = p.estTx[:windows]
+	// The per-window transmission estimate is base·attempts[t]; the
+	// fused SelectEst computes it inline instead of materializing an
+	// e_tx slice per packet. E_tx_max of Eq. (15) is the worst-case
+	// energy budget of a packet (all attempts). The estimate e_tx[t]
+	// carries the window's expected attempt count, so crowded windows
+	// score a proportionally higher DIF instead of saturating at 1 —
+	// this gradient is what spreads nodes across windows (Fig. 4).
 	base := p.estimator.Estimate()
-	for t := range p.estTx {
-		attempts := 1.0
-		if !p.cfg.DisableRetxHistory {
-			attempts = p.history.ExpectedAttempts(t)
+	maxTx := p.cfg.SingleTxEnergyJ * float64(p.cfg.MaxAttempts)
+	var attempts []float64
+	if !p.cfg.DisableRetxHistory {
+		if attempts = p.history.AttemptsVec(windows); attempts == nil {
+			// More windows than the history tracks (shrunken sampling
+			// period): fall back to clamped per-window queries.
+			if cap(p.estTx) < windows {
+				p.estTx = make([]float64, windows)
+			}
+			attempts = p.estTx[:windows]
+			for t := range attempts {
+				attempts[t] = p.history.ExpectedAttempts(t)
+			}
 		}
-		p.estTx[t] = base * attempts
 	}
-
-	d, err := p.selector.Select(core.Inputs{
-		StoredEnergy:          max(0, storedJ),
-		NormalizedDegradation: p.effectiveWu(gen),
-		ForecastGen:           forecast,
-		EstTxEnergy:           p.estTx,
-		// E_tx_max of Eq. (15) is the worst-case energy budget of a
-		// packet (all attempts). The estimate e_tx[t] carries the
-		// window's expected attempt count, so crowded windows score a
-		// proportionally higher DIF instead of saturating at 1 — this
-		// gradient is what spreads nodes across windows (Fig. 4).
-		MaxTxEnergy: p.cfg.SingleTxEnergyJ * float64(p.cfg.MaxAttempts),
-	})
+	d, err := p.selector.SelectEst(max(0, storedJ), p.effectiveWu(gen), forecast, base, attempts, maxTx)
 	if err != nil || !d.OK {
 		return Decision{Drop: true}
 	}

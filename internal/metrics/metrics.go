@@ -243,8 +243,16 @@ func NewHistogram() *Histogram {
 func (h *Histogram) Add(bucket int) {
 	h.total++
 	if bucket >= 0 {
-		for bucket >= len(h.dense) {
-			h.dense = append(h.dense, 0)
+		if bucket >= len(h.dense) {
+			if bucket < cap(h.dense) {
+				// make zeroed the whole capacity and counts are only
+				// written within len, so the exposed tail is all zeros.
+				h.dense = h.dense[:bucket+1]
+			} else {
+				nd := make([]int64, bucket+1, max(2*cap(h.dense), bucket+1, 16))
+				copy(nd, h.dense)
+				h.dense = nd
+			}
 		}
 		h.dense[bucket]++
 		return

@@ -31,6 +31,32 @@ type entry struct {
 	ev  Event
 }
 
+// Calendar-ring staging (DESIGN.md §5g). Most queued events are
+// far-future timers — generate periods, window-deferred attempts,
+// daily/obs ticks — that sit in the priority queue for simulated hours
+// while every push and pop sifts past them. The engine therefore stages
+// any event scheduled beyond the current minute in a ring of per-minute
+// buckets and bulk-flushes a bucket into the heap only when the drain
+// frontier reaches its minute. The heap holds just the sub-minute
+// traffic (airtime ends, receive windows, backoffs) plus the flushed
+// current minute, so its depth — and the cost of pop, the engine's
+// dominant operation — stays O(log active-instant) instead of
+// O(log everything-pending). Order is untouched: buckets are flushed
+// wholesale before any of their instants can fire, and the heap alone
+// decides execution order by the same strict (at, seq) total order, so
+// the pop sequence is identical to a pure-heap engine, event for event.
+const (
+	// engineRingMinutes is the staging span: one bucket per simulated
+	// minute, power of two. 2048 minutes (~34 h) covers every periodic
+	// reschedule shape the simulator produces — sampling periods,
+	// window deferrals, obs sampling, the daily tick — with room to
+	// spare; anything farther (monthly ticks, multi-day brownouts)
+	// falls back to the heap, where rare events cost nothing extra.
+	engineRingMinutes = 2048
+	engineRingMask    = engineRingMinutes - 1
+	engineMinute      = simtime.Time(simtime.Minute)
+)
+
 // Engine is a deterministic discrete-event executor. Events scheduled
 // for the same instant run in schedule order — the (at, seq) contract —
 // regardless of whether they are typed pooled events or closures.
@@ -41,6 +67,19 @@ type Engine struct {
 	seq      uint64
 	executed uint64
 	stop     bool
+
+	// ring stages far-future events in per-minute buckets
+	// (slot = minute & engineRingMask); nil until the first staged
+	// event, so trivial engines never pay for it.
+	ring [][]entry
+	// ringMin is the smallest minute index whose bucket may still hold
+	// entries: buckets below it have been flushed, so late arrivals for
+	// those minutes go straight to the heap.
+	ringMin int64
+	// ringNext is the minute of the earliest staged entry; only
+	// meaningful while ringCount > 0.
+	ringNext  int64
+	ringCount int
 }
 
 // NewEngine returns an engine at time zero.
@@ -62,20 +101,102 @@ func (e *Engine) ScheduleAfter(d simtime.Duration, fn func()) {
 
 // ScheduleEvent enqueues a typed event at the given instant under the
 // same clamping and tie-break rules as Schedule. It performs no
-// allocation beyond amortized heap growth.
+// allocation beyond amortized heap/bucket growth. Events beyond the
+// current minute are staged in the calendar ring; the rest go to the
+// heap directly.
 func (e *Engine) ScheduleEvent(at simtime.Time, ev Event) {
 	if at < e.now {
 		at = e.now
 	}
 	e.seq++
-	e.push(entry{at: at, seq: e.seq, ev: ev})
+	en := entry{at: at, seq: e.seq, ev: ev}
+	m := int64(at / engineMinute)
+	if nowMin := int64(e.now / engineMinute); m > nowMin {
+		if e.ringCount == 0 && e.ringMin < nowMin {
+			// Re-anchor an empty ring so a long heap-only stretch cannot
+			// push the staging window out of reach.
+			e.ringMin = nowMin
+		}
+		if m >= e.ringMin && m-e.ringMin < engineRingMinutes {
+			e.ringPush(m, en)
+			return
+		}
+	}
+	e.push(en)
+}
+
+// engineRingBucketCap is the initial per-bucket capacity carved from the
+// ring's backing slab. Staged wakes spread over the ring's minutes, so
+// most buckets hold a handful of entries; buckets that outgrow their
+// slab chunk fall back to ordinary append growth.
+const engineRingBucketCap = 64
+
+// ringPush stages an entry in its minute bucket.
+func (e *Engine) ringPush(m int64, en entry) {
+	if e.ring == nil {
+		// One slab backs every bucket's initial capacity: growing 2048
+		// buckets individually from zero would cost thousands of
+		// allocations per engine lifetime for the same steady state.
+		e.ring = make([][]entry, engineRingMinutes)
+		slab := make([]entry, engineRingMinutes*engineRingBucketCap)
+		for i := range e.ring {
+			lo := i * engineRingBucketCap
+			e.ring[i] = slab[lo:lo : lo+engineRingBucketCap]
+		}
+	}
+	slot := m & engineRingMask
+	e.ring[slot] = append(e.ring[slot], en)
+	if e.ringCount == 0 || m < e.ringNext {
+		e.ringNext = m
+	}
+	e.ringCount++
+}
+
+// ensureHead flushes staged buckets until the heap head is the true
+// global minimum: while the earliest staged minute could precede the
+// heap head, its whole bucket moves to the heap (which then orders the
+// merged entries by (at, seq) exactly as a pure-heap engine would).
+// Every head inspection — pop sites, NextAt — goes through here.
+func (e *Engine) ensureHead() {
+	for e.ringCount > 0 {
+		if len(e.pq) > 0 && e.pq[0].at < simtime.Time(e.ringNext)*engineMinute {
+			return
+		}
+		e.flushBucket()
+	}
+}
+
+// flushBucket moves the earliest staged bucket into the heap and
+// advances the ring frontier past it.
+func (e *Engine) flushBucket() {
+	slot := e.ringNext & engineRingMask
+	b := e.ring[slot]
+	for _, en := range b {
+		e.push(en)
+	}
+	e.ringCount -= len(b)
+	clear(b) // release Event references held by the retained capacity
+	e.ring[slot] = b[:0]
+	e.ringMin = e.ringNext + 1
+	if e.ringCount == 0 {
+		return
+	}
+	// The invariant that every staged minute lies in
+	// [ringMin, ringMin+engineRingMinutes) bounds this scan.
+	for m := e.ringMin; ; m++ {
+		if len(e.ring[m&engineRingMask]) > 0 {
+			e.ringNext = m
+			return
+		}
+	}
 }
 
 // Stop makes Run return after the current event.
 func (e *Engine) Stop() { e.stop = true }
 
-// Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.pq) }
+// Pending returns the number of queued events (heap plus staged ring
+// buckets).
+func (e *Engine) Pending() int { return len(e.pq) + e.ringCount }
 
 // Scheduled returns how many events were ever enqueued.
 func (e *Engine) Scheduled() uint64 { return e.seq }
@@ -86,6 +207,7 @@ func (e *Engine) Executed() uint64 { return e.executed }
 // Step executes the next event; it reports false when the queue is
 // empty.
 func (e *Engine) Step() bool {
+	e.ensureHead()
 	if len(e.pq) == 0 {
 		return false
 	}
@@ -101,7 +223,11 @@ func (e *Engine) Step() bool {
 // the horizon exactly if events remain beyond it.
 func (e *Engine) Run(horizon simtime.Time) {
 	e.stop = false
-	for !e.stop && len(e.pq) > 0 && e.pq[0].at <= horizon {
+	for !e.stop {
+		e.ensureHead()
+		if len(e.pq) == 0 || e.pq[0].at > horizon {
+			break
+		}
 		en := e.pop()
 		e.now = en.at
 		e.executed++
@@ -186,6 +312,7 @@ func (e *Engine) pop() entry {
 // when the queue is empty. The sharded runner uses it to compute the
 // conservative lookahead bound for each phase.
 func (e *Engine) NextAt() (simtime.Time, bool) {
+	e.ensureHead()
 	if len(e.pq) == 0 {
 		return 0, false
 	}
@@ -199,7 +326,11 @@ func (e *Engine) NextAt() (simtime.Time, bool) {
 // an intermediate jump to limit-1ns would be observable through Now()
 // in event handlers.
 func (e *Engine) RunUntil(limit simtime.Time) {
-	for !e.stop && len(e.pq) > 0 && e.pq[0].at < limit {
+	for !e.stop {
+		e.ensureHead()
+		if len(e.pq) == 0 || e.pq[0].at >= limit {
+			return
+		}
 		en := e.pop()
 		e.now = en.at
 		e.executed++
@@ -215,7 +346,11 @@ func (e *Engine) RunAt(t simtime.Time) {
 	if e.now < t {
 		e.now = t
 	}
-	for !e.stop && len(e.pq) > 0 && e.pq[0].at <= t {
+	for !e.stop {
+		e.ensureHead()
+		if len(e.pq) == 0 || e.pq[0].at > t {
+			return
+		}
 		en := e.pop()
 		e.now = en.at
 		e.executed++

@@ -312,3 +312,67 @@ func TestEnginePopOrderMatchesReferenceHeap(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestEngineRingStagingMatchesReferenceHeap drives the calendar-ring
+// staging path against the reference heap: instants drawn from mixed
+// scales (same-instant ties, sub-minute latencies, minutes-to-hours
+// timers, multi-day overflows past the ring span) with interleaved
+// pops, so entries cross every staging boundary — heap-direct, ring,
+// ring-overflow — and flush mid-drain. Any correct engine must pop the
+// identical (at, seq) sequence.
+func TestEngineRingStagingMatchesReferenceHeap(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0x91f9))
+		e := NewEngine()
+		ref := refHeap{}
+		var got, want []uint64
+		var seq uint64
+		scales := []int64{
+			8, // same-instant ties
+			int64(2 * simtime.Minute),
+			int64(3 * simtime.Hour),
+			int64(4 * simtime.Day), // beyond the ring span
+		}
+		schedule := func() {
+			at := e.Now() + simtime.Time(rng.Int64N(scales[rng.IntN(len(scales))]))
+			seq++
+			id := seq
+			e.ScheduleEvent(at, eventFunc(func() { got = append(got, id) }))
+			heap.Push(&ref, entry{at: at, seq: seq})
+		}
+		pop := func() {
+			if len(ref) == 0 {
+				return
+			}
+			want = append(want, heap.Pop(&ref).(entry).seq)
+			if !e.Step() {
+				t.Fatal("engine drained before reference heap")
+			}
+		}
+		for i := 0; i < 400; i++ {
+			if rng.IntN(3) == 0 {
+				pop()
+			} else {
+				schedule()
+			}
+		}
+		for len(ref) > 0 {
+			pop()
+		}
+		if e.Pending() != 0 {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -78,7 +78,16 @@ func (e *simEvent) Fire() {
 func (sh *shard) schedule(at simtime.Time, kind uint8, n *Node, pkt *packet, tx *Transmission, btx *borderTx, gw int, until simtime.Time) {
 	e := sh.freeEv
 	if e == nil {
-		e = &simEvent{sh: sh}
+		// Refill the pool a chunk at a time: one slab instead of an
+		// allocation per event while the pool grows to steady state.
+		chunk := make([]simEvent, 64)
+		for i := range chunk[1:] {
+			chunk[i+1].sh = sh
+			chunk[i+1].next = sh.freeEv
+			sh.freeEv = &chunk[i+1]
+		}
+		e = &chunk[0]
+		e.sh = sh
 	} else {
 		sh.freeEv = e.next
 		e.next = nil

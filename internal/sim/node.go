@@ -29,6 +29,8 @@ type Node struct {
 
 	src        energy.Source
 	srcMin     energy.MinuteSource // non-nil when src answers per-minute queries O(1)
+	powCache   []float64           // srcMin.DayPowers(powDay); the integrators wake once per event, so the interface call is cached per day
+	powDay     int64               // day powCache holds; only valid while powCache != nil
 	fc         energy.Forecaster
 	fcEWMA     *energy.DiurnalEWMA // non-nil when fc supports slot-direct observations
 	rng        *rand.Rand
@@ -47,12 +49,16 @@ type Node struct {
 	owner     *shard
 	borderPow [][]float64
 
-	lastIntegrated simtime.Time
-	extraDrawJ     float64 // radio energy awaiting the next balance chunk
-	pkt            *packet
-	pendingTrans   []battery.Transition // SoC transitions awaiting report
-	transPair      [2]battery.Transition
-	reportBuf      []battery.Report // reused wire-encoding buffer
+	// core/idx locate the node's integration-hot state in the
+	// struct-of-arrays node core (core.go).
+	core *soa
+	idx  int
+
+	pkt          *packet
+	pendingTrans []battery.Transition // SoC transitions awaiting report
+	transPair    [2]battery.Transition
+	transBuf     []battery.Transition // reused drain buffer
+	reportBuf    []battery.Report     // reused wire-encoding buffer
 }
 
 // draw charges radio energy against the node's energy balance. Per the
@@ -60,7 +66,10 @@ type Node struct {
 // is netted against that window's green generation; only the shortfall
 // discharges the battery, so a transmission fully covered by harvest
 // causes no SoC dip at all.
-func (n *Node) draw(joules float64) { n.extraDrawJ += joules }
+func (n *Node) draw(joules float64) {
+	c, i := n.ensureCore()
+	c.extraDrawJ[i] += joules
+}
 
 // paramsForAttempt applies the LoRaWAN retransmission back-off: the data
 // rate drops (SF rises) every two attempts, up to SF12. Retransmissions
@@ -93,89 +102,14 @@ type packet struct {
 // minutesPerDay mirrors the energy package's day-cache granularity.
 const minutesPerDay = 24 * 60
 
-// integrate advances the node's energy state from its last integration
-// point to now: per-minute harvesting (taught to the forecaster),
-// baseline sleep draw, and battery charge/discharge with the protocol's
-// theta cap applied by the battery itself.
-func (n *Node) integrate(to simtime.Time) {
-	from := n.lastIntegrated
-	if to <= from {
-		return
-	}
-	n.lastIntegrated = to
-	const minuteT = simtime.Time(simtime.Minute)
-	cursor := from
-	minute := int64(cursor / minuteT)
-	if n.srcMin != nil {
-		// Walk the source's cached per-minute powers for the day directly.
-		// A whole-minute step harvests power·60 s; a partial step inside
-		// one minute harvests power·elapsed — bit-identical to the
-		// interval query, which reduces to the same single product.
-		day := minute / minutesPerDay
-		dayBase := day * minutesPerDay
-		pow := n.srcMin.DayPowers(day)
-		for cursor < to {
-			if minute-dayBase >= minutesPerDay {
-				day = minute / minutesPerDay
-				dayBase = day * minutesPerDay
-				pow = n.srcMin.DayPowers(day)
-			}
-			p := pow[minute-dayBase]
-			next := simtime.Time(minute+1) * minuteT
-			var net float64
-			if next <= to && cursor == simtime.Time(minute)*minuteT {
-				harvest := p * 60.0
-				if n.fcEWMA != nil {
-					n.fcEWMA.ObserveFullSlot(int(minute-dayBase), harvest)
-				} else {
-					n.fc.Observe(cursor, next, harvest)
-				}
-				net = harvest - 60.0*n.sleepW - n.extraDrawJ
-			} else {
-				if next > to {
-					next = to
-				}
-				secs := next.Sub(cursor).Seconds()
-				harvest := p * secs
-				n.fc.Observe(cursor, next, harvest)
-				net = harvest - secs*n.sleepW - n.extraDrawJ
-			}
-			n.extraDrawJ = 0
-			if net >= 0 {
-				n.Batt.Charge(next, net)
-			} else {
-				n.Batt.Discharge(next, -net)
-			}
-			cursor = next
-			minute++
-		}
-		return
-	}
-	for cursor < to {
-		next := simtime.Time(minute+1) * minuteT
-		if next > to {
-			next = to
-		}
-		harvest := n.src.Energy(cursor, next)
-		secs := next.Sub(cursor).Seconds()
-		n.fc.Observe(cursor, next, harvest)
-		net := harvest - secs*n.sleepW - n.extraDrawJ
-		n.extraDrawJ = 0
-		if net >= 0 {
-			n.Batt.Charge(next, net)
-		} else {
-			n.Batt.Discharge(next, -net)
-		}
-		cursor = next
-		minute++
-	}
-}
+// integrate lives in core.go alongside the struct-of-arrays node core.
 
 // drainReports appends the battery's new SoC transitions to the pending
 // report queue, compressed to the paper's two-per-period budget: only
 // the extreme (min and max SoC) transitions of each drain survive.
 func (n *Node) drainReports() {
-	trans := n.Batt.DrainTransitions()
+	n.transBuf = n.Batt.AppendTransitions(n.transBuf[:0])
+	trans := n.transBuf
 	if len(trans) == 0 {
 		return
 	}
@@ -200,10 +134,15 @@ func (n *Node) drainReports() {
 			trans = n.transPair[:]
 		}
 	}
-	n.pendingTrans = append(n.pendingTrans, trans...)
 	// Bound the backlog: a node that cannot deliver for a long time keeps
 	// only the most recent reports (the gateway tolerates gaps).
 	const maxBacklog = 16
+	if n.pendingTrans == nil {
+		// The backlog never exceeds maxBacklog entries, so one full-size
+		// allocation replaces the append growth chain.
+		n.pendingTrans = make([]battery.Transition, 0, maxBacklog+2)
+	}
+	n.pendingTrans = append(n.pendingTrans, trans...)
 	if len(n.pendingTrans) > maxBacklog {
 		n.pendingTrans = append(n.pendingTrans[:0], n.pendingTrans[len(n.pendingTrans)-maxBacklog:]...)
 	}
@@ -215,6 +154,11 @@ func (n *Node) drainReports() {
 func (n *Node) encodeReports(packetAt simtime.Time, window simtime.Duration) []battery.Report {
 	if len(n.pendingTrans) == 0 {
 		return nil
+	}
+	if cap(n.reportBuf) < len(n.pendingTrans) {
+		// The backlog is bounded (see drainReports), so one full-size
+		// allocation serves the node for the rest of the run.
+		n.reportBuf = make([]battery.Report, 0, cap(n.pendingTrans))
 	}
 	out := n.reportBuf[:0]
 	for _, tr := range n.pendingTrans {

@@ -86,6 +86,7 @@ type Simulation struct {
 	med    *Medium // the single-lane medium; sharded runs build per-cell media
 	server *netserver.Server
 	nodes  []*Node
+	trace  *energy.YearTrace // shared weather trace; lanes batch per-day fills off it
 	util   utility.Function
 	gwPos  []radio.Position
 	phy    *lora.Table  // memoized airtime/TX-energy per (SF, payload)
@@ -148,6 +149,7 @@ func New(cfg config.Scenario, hooks Hooks) (*Simulation, error) {
 		hooks:  hooks,
 		med:    NewMedium(lora.BW125, cfg.Demodulators, cfg.Gateways),
 		server: server,
+		trace:  trace,
 		util:   utility.Linear{},
 		gwPos:  radio.GatewayLayout(cfg.Gateways, cfg.MaxDistanceM),
 		phy:    phy,
@@ -168,20 +170,38 @@ func New(cfg config.Scenario, hooks Hooks) (*Simulation, error) {
 			return nil, err
 		}
 	}
+	// Construction slabs: the per-node EWMA profiles (~13 KB each) and
+	// the solar sources' rolling day caches (~11.5 KB each) all live
+	// exactly as long as the simulation, so they are carved out of two
+	// contiguous banks instead of thousands of individual allocations —
+	// same bytes, far less allocator and GC traffic at construction.
+	var ewmaBank []energy.DiurnalEWMA
+	if cfg.Forecast != config.ForecastPerfect && cfg.Forecast != config.ForecastNoisy {
+		ewmaBank = energy.NewDiurnalEWMABank(0.3, cfg.Nodes)
+	}
+	minuteSlab := make([]float64, cfg.Nodes*minutesPerDay)
 	for id := 0; id < cfg.Nodes; id++ {
-		n, err := s.buildNode(id, trace)
+		var ew *energy.DiurnalEWMA
+		if ewmaBank != nil {
+			ew = &ewmaBank[id]
+		}
+		lo, hi := id*minutesPerDay, (id+1)*minutesPerDay
+		n, err := s.buildNode(id, trace, ew, minuteSlab[lo:hi:hi])
 		if err != nil {
 			return nil, fmt.Errorf("sim: node %d: %w", id, err)
 		}
 		s.nodes = append(s.nodes, n)
 		server.Register(id, cfg.InitialSoC)
 	}
+	attachCore(s.nodes)
 	return s, nil
 }
 
 // buildNode constructs one node: placement, SF assignment, battery
-// sizing, energy source, forecaster, and protocol instance.
-func (s *Simulation) buildNode(id int, trace *energy.YearTrace) (*Node, error) {
+// sizing, energy source, forecaster, and protocol instance. ewma (may
+// be nil) and minuteBuf are this node's views into the construction
+// slabs New carved out; a nil ewma falls back to a solo allocation.
+func (s *Simulation) buildNode(id int, trace *energy.YearTrace, ewma *energy.DiurnalEWMA, minuteBuf []float64) (*Node, error) {
 	cfg := s.cfg
 	rng := rand.New(rand.NewPCG(cfg.Seed, uint64(id)+0x4ead))
 
@@ -258,6 +278,13 @@ func (s *Simulation) buildNode(id int, trace *energy.YearTrace) (*Node, error) {
 	// that the paper's TX-based rule alone would starve them.
 	peakW := max(energy.PeakPowerFor(txE, cfg.ForecastWindow, cfg.PanelPeakMultiple), 10*cfg.SleepPowerW)
 	src := trace.NodeSource(id, peakW, cfg.SolarVariation)
+	if minuteBuf != nil {
+		// Attach before any priming so the source's lazy day cache lands
+		// in the slab rather than allocating its own backing store.
+		if ms, ok := src.(interface{ SetMinuteBuf([]float64) }); ok {
+			ms.SetMinuteBuf(minuteBuf)
+		}
+	}
 
 	var fc energy.Forecaster
 	switch cfg.Forecast {
@@ -266,7 +293,9 @@ func (s *Simulation) buildNode(id int, trace *energy.YearTrace) (*Node, error) {
 	case config.ForecastNoisy:
 		fc = energy.NewNoisy(src, cfg.ForecastNoise, cfg.Seed^uint64(id)*0x9e37)
 	default:
-		ewma := energy.NewDiurnalEWMA(0.3)
+		if ewma == nil {
+			ewma = energy.NewDiurnalEWMA(0.3)
+		}
 		ewma.Prime(src, cfg.ForecastPrimeDays)
 		fc = ewma
 	}
@@ -423,9 +452,17 @@ func (s *Simulation) RunOpt(opt RunOptions) (*Result, error) {
 // reschedules itself. Sampling is read-only — Damage and SoC are pure
 // accessors and no energy integration runs — so enabling observability
 // cannot perturb the simulation: RNG streams, event order, and all
-// results stay byte-identical to an unobserved run. It runs on the
-// coordinator lane, with every worker lane parked at the sample
-// instant.
+// results stay byte-identical to an unobserved run.
+//
+// Scheduling rule (DESIGN.md §5e): obs sampling lives on the
+// coordinator lane, always — the t=0 seed in RunOpt and the reschedule
+// below both target s.coord explicitly, so the sample cadence is
+// k·SampleEvery at any shard count and the worker lanes never carry
+// sampling events. (sh == s.coord whenever this handler runs; the
+// explicit target keeps that an invariant rather than an accident.)
+// The per-interval wakeups do not defeat the nodes' idle-span skip:
+// they wake only the coordinator, never a node — no integration, no
+// per-node events.
 func (sh *shard) obsSample() {
 	s := sh.s
 	now := sh.eng.Now()
@@ -433,7 +470,7 @@ func (sh *shard) obsSample() {
 		bd := n.Batt.Damage(now)
 		n.obsTL.Record(now, n.Batt.SoC(), bd.Calendar, bd.Cycle, bd.Total, len(n.pendingTrans))
 	}
-	sh.schedule(now.Add(s.obs.SampleEvery()), evObsSample, nil, nil, nil, nil, 0, 0)
+	s.coord.schedule(now.Add(s.obs.SampleEvery()), evObsSample, nil, nil, nil, nil, 0, 0)
 }
 
 // dailyTick runs the gateway's daily degradation recomputation and the
@@ -672,7 +709,7 @@ func (sh *shard) brownout(n *Node) {
 	}
 	n.Proto.Reset()
 	n.pendingTrans = n.pendingTrans[:0]
-	n.Batt.DrainTransitions() // transitions recorded but never reported are gone
+	n.transBuf = n.Batt.AppendTransitions(n.transBuf[:0]) // recorded but never reported: gone
 	n.Stats.Brownouts++
 	s.cBrownouts.Inc()
 	n.obsTL.RecordEvent(now, "brownout")
