@@ -14,7 +14,7 @@ BENCHTIME ?= 1s
 # nothing on a constrained runner. NPROC=4 overrides the probe width.
 NPROC     ?= $(shell nproc)
 
-.PHONY: all build test race vet bench profile clean
+.PHONY: all build test race vet bench profile lns-smoke clean
 
 all: build test
 
@@ -58,6 +58,38 @@ profile: build
 	$(GO) tool pprof -top -nodecount=10 prof/cpu.out
 	@echo '--- heap top 10 (alloc_space, flat) ---'
 	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_space prof/mem.out
+
+# Daemon end-to-end smoke: generate a golden obs export with the
+# simulator, replay it through the in-process library path, then through
+# a live lnsd over HTTP, and diff the disseminated w_u tables — they
+# must be byte-identical. A second pass replays half the stream,
+# snapshots, restarts lnsd from the snapshot, resumes, and diffs again:
+# snapshot/restore must be invisible in the output.
+LNSTMP := $(shell mktemp -d /tmp/lns-smoke.XXXXXX)
+LNSADDR ?= 127.0.0.1:18080
+
+lns-smoke: build
+	$(GO) run ./cmd/experiments -run faults -scale quick -nodes 10 -duration 48h \
+		-obs -obs-dir $(LNSTMP)/obs > /dev/null
+	$(GO) build -o $(LNSTMP)/lnsd ./cmd/lnsd
+	$(GO) build -o $(LNSTMP)/loadgen ./cmd/loadgen
+	$(LNSTMP)/loadgen -in $(LNSTMP)/obs/faults_s00_r00.jsonl -local -wu-out $(LNSTMP)/wu-lib.json
+	$(LNSTMP)/lnsd -addr $(LNSADDR) & echo $$! > $(LNSTMP)/pid; \
+		$(LNSTMP)/loadgen -in $(LNSTMP)/obs/faults_s00_r00.jsonl -addr http://$(LNSADDR) \
+			-wu-out $(LNSTMP)/wu-http.json -v; \
+		kill `cat $(LNSTMP)/pid`
+	diff $(LNSTMP)/wu-lib.json $(LNSTMP)/wu-http.json
+	$(LNSTMP)/lnsd -addr $(LNSADDR) & echo $$! > $(LNSTMP)/pid; \
+		$(LNSTMP)/loadgen -in $(LNSTMP)/obs/faults_s00_r00.jsonl -addr http://$(LNSADDR) \
+			-stop-frac 0.5 -snapshot-out $(LNSTMP)/snap.json; \
+		kill `cat $(LNSTMP)/pid`
+	$(LNSTMP)/lnsd -addr $(LNSADDR) -restore $(LNSTMP)/snap.json & echo $$! > $(LNSTMP)/pid; \
+		$(LNSTMP)/loadgen -in $(LNSTMP)/obs/faults_s00_r00.jsonl -addr http://$(LNSADDR) \
+			-start-frac 0.5 -wu-out $(LNSTMP)/wu-resume.json; \
+		kill `cat $(LNSTMP)/pid`
+	diff $(LNSTMP)/wu-lib.json $(LNSTMP)/wu-resume.json
+	rm -rf $(LNSTMP)
+	@echo "lns-smoke: daemon replay and snapshot/restore resume byte-identical to library path"
 
 clean:
 	rm -f BENCH_*.json

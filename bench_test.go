@@ -10,7 +10,11 @@ package repro_test
 // Paper-scale regeneration lives in cmd/experiments (-scale paper).
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"repro/internal/battery"
@@ -18,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/experiment"
+	"repro/internal/lns"
 	"repro/internal/mac"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -356,6 +361,118 @@ func benchSimSharded(b *testing.B, nodes, gateways int, radiusM float64) {
 // between 1k and 100k. Both shrink to two simulated hours under -short.
 func BenchmarkSweep10kNodes(b *testing.B)  { benchSimSharded(b, 10_000, 8, 25_000) }
 func BenchmarkSweep100kNodes(b *testing.B) { benchSimSharded(b, 100_000, 16, 40_000) }
+
+// lnsIngestTrace builds the deterministic replay workload for
+// BenchmarkLNSIngest: a diurnal SoC sawtooth per node sampled every ten
+// minutes — pure arithmetic, no RNG, so every iteration replays
+// identical bytes through the daemon.
+func lnsIngestTrace(nodes, days int) *lns.Trace {
+	tr := &lns.Trace{SampleEvery: 10 * simtime.Minute}
+	for id := 0; id < nodes; id++ {
+		soc := 0.55 + 0.3*float64(id%7)/7
+		nt := lns.NodeTrace{ID: id, InitialSoC: soc}
+		for k := 0; k < days*144; k++ {
+			at := simtime.Time(k+1) * simtime.Time(10*simtime.Minute)
+			if hour := (k / 6) % 24; hour >= 8 && hour < 18 {
+				soc -= 0.004 // daytime drain
+			} else {
+				soc += 0.003 // overnight recharge
+			}
+			soc = min(0.95, max(0.15, soc))
+			nt.Transitions = append(nt.Transitions, battery.Transition{At: at, SoC: soc})
+		}
+		tr.Nodes = append(tr.Nodes, nt)
+	}
+	return tr
+}
+
+// BenchmarkLNSIngest measures the daemon's HTTP ingest path end to end:
+// register a fleet, POST every replay batch through an in-process
+// httptest server, and issue the final recompute. ingest-msgs/s is the
+// uplink throughput headline (gated by the bench-regression harness
+// like every "/s" metric); recompute-ms is the mean wall-clock latency
+// of one w_u recompute over the whole fleet, taken from the daemon's
+// own lns.* counters. -short shrinks the fleet and horizon for the CI
+// smoke gate.
+func BenchmarkLNSIngest(b *testing.B) {
+	nodes, days := 64, 7
+	if testing.Short() {
+		nodes, days = 16, 2
+	}
+	tr := lnsIngestTrace(nodes, days)
+	batches := lns.BuildBatches(tr, 0, 8, 64)
+	finalAt := lns.LastUplinkAt(batches).Add(simtime.Day)
+	var uplinks int
+	for _, bb := range batches {
+		uplinks += len(bb.Uplinks)
+	}
+
+	// Pre-encode every request body so the timed loop measures the
+	// daemon, not client-side JSON marshalling.
+	reg := lns.RegisterReq{}
+	for _, nt := range tr.Nodes {
+		reg.Nodes = append(reg.Nodes, lns.RegisterNode{Node: nt.ID, SoC: nt.InitialSoC})
+	}
+	mustJSON := func(v any) []byte {
+		data, err := json.Marshal(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return data
+	}
+	regBody := mustJSON(reg)
+	bodies := make([][]byte, len(batches))
+	for i, bb := range batches {
+		bodies[i] = mustJSON(bb)
+	}
+	finalBody := mustJSON(lns.RecomputeReq{AtMs: int64(finalAt)})
+	post := func(client *http.Client, url string, body []byte) int {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	var recomputeNs, recomputes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := lns.NewDaemon(lns.Config{Interval: simtime.Day, QueueDepth: len(batches) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(d.Handler())
+		client := ts.Client()
+		if code := post(client, ts.URL+"/v1/register", regBody); code != http.StatusOK {
+			b.Fatalf("register: status %d", code)
+		}
+		for _, body := range bodies {
+			for {
+				code := post(client, ts.URL+"/v1/uplinks", body)
+				if code == http.StatusAccepted {
+					break
+				}
+				if code != http.StatusTooManyRequests {
+					b.Fatalf("uplinks: status %d", code)
+				}
+			}
+		}
+		if code := post(client, ts.URL+"/v1/recompute", finalBody); code != http.StatusOK {
+			b.Fatalf("recompute: status %d", code)
+		}
+		rec := d.Recorder()
+		recomputeNs += rec.Counter("lns.recompute_ns_total").Value()
+		recomputes += rec.Counter("lns.recomputes").Value()
+		ts.Close()
+		d.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(uplinks*b.N)/b.Elapsed().Seconds(), "ingest-msgs/s")
+	if recomputes > 0 {
+		b.ReportMetric(float64(recomputeNs)/1e6/float64(recomputes), "recompute-ms")
+	}
+}
 
 // BenchmarkSimulatorYear exercises the multi-year regime the paper
 // actually simulates (up to 15 years): long runs stress the rolling

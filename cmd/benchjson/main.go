@@ -82,6 +82,12 @@ type Record struct {
 	// is also diffed against the baseline like any other "/s" metric
 	// when -nsregress is set.
 	ScaleLadder map[string]float64 `json:"scale_ladder,omitempty"`
+	// LNSIngest surfaces the daemon-path headline numbers from
+	// BenchmarkLNSIngest (ingest-msgs/s throughput and recompute-ms
+	// latency over the HTTP ingest path). Omitted when the rung did not
+	// run; the "/s" metric rides the -nsregress throughput gate like
+	// every other rate.
+	LNSIngest map[string]float64 `json:"lns_ingest,omitempty"`
 	// Baseline is the prior record this run was diffed against.
 	Baseline string `json:"baseline,omitempty"`
 	// Regressions flags allocs/op and bytes/op growth beyond the
@@ -131,6 +137,9 @@ func main() {
 		rec.SweepParallelCPUs = wMax.CPUs
 	}
 	rec.ScaleLadder = buildScaleLadder(rec.Benchmarks)
+	if b := find(rec.Benchmarks, "LNSIngest"); b != nil && len(b.Metrics) > 0 {
+		rec.LNSIngest = b.Metrics
+	}
 
 	path := *out
 	if path == "" {
@@ -280,21 +289,49 @@ func diffRecords(base, cur *Record, maxregress, nsregress float64) []Regression 
 	return regs
 }
 
-// latestRecord returns the lexicographically newest BENCH_*.json in dir
-// other than the file being written (BENCH_<ISO date> sorts by date), or
-// "" when none exists.
+// latestRecord returns the BENCH_*.json in dir with the newest date
+// embedded in its filename, other than the file being written, or ""
+// when none qualifies. Selection is by the parsed BENCH_<YYYY-MM-DD>
+// date — NOT by mtime (a checkout or copy rewrites those) and NOT by
+// raw string order (which would rank a stray BENCH_backup.json above
+// every dated record). Files whose name carries no parseable date are
+// ignored; among same-date records the lexicographically last name wins
+// so the choice stays deterministic.
 func latestRecord(dir, exclude string) string {
 	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
 	if err != nil {
 		return ""
 	}
 	sort.Strings(matches)
-	for i := len(matches) - 1; i >= 0; i-- {
-		if filepath.Base(matches[i]) != filepath.Base(exclude) {
-			return matches[i]
+	best := ""
+	var bestDate time.Time
+	for _, m := range matches {
+		if filepath.Base(m) == filepath.Base(exclude) {
+			continue
+		}
+		d, ok := recordDate(filepath.Base(m))
+		if !ok {
+			continue
+		}
+		if best == "" || !d.Before(bestDate) {
+			best, bestDate = m, d
 		}
 	}
-	return ""
+	return best
+}
+
+// recordDate parses the date embedded in a BENCH_*.json filename
+// (BENCH_2026-08-06.json, BENCH_2026-08-06_rerun.json, ...).
+func recordDate(name string) (time.Time, bool) {
+	s := strings.TrimPrefix(name, "BENCH_")
+	if len(s) < len("2006-01-02") {
+		return time.Time{}, false
+	}
+	d, err := time.Parse("2006-01-02", s[:len("2006-01-02")])
+	if err != nil {
+		return time.Time{}, false
+	}
+	return d, true
 }
 
 func readRecord(path string) (*Record, error) {

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestParseLine(t *testing.T) {
@@ -133,6 +134,68 @@ func TestLatestRecordPicksNewestOther(t *testing.T) {
 	}
 	if got := latestRecord(t.TempDir(), "BENCH_x.json"); got != "" {
 		t.Errorf("empty dir should yield no baseline, got %q", got)
+	}
+}
+
+func TestLatestRecordSelectsByEmbeddedDate(t *testing.T) {
+	// Regression: baseline choice must follow the date in the filename,
+	// never raw string order or file mtime. BENCH_backup.json sorts after
+	// every dated name lexicographically, and the oldest record carries
+	// the newest mtime — both decoys.
+	dir := t.TempDir()
+	for _, name := range []string{
+		"BENCH_2026-07-15.json",
+		"BENCH_2026-08-01.json",
+		"BENCH_backup.json", // undated: must be ignored
+		"BENCH_notes.json",  // undated: must be ignored
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch the oldest dated record last so mtime order disagrees with
+	// date order.
+	old := filepath.Join(dir, "BENCH_2026-07-15.json")
+	future := time.Now().Add(time.Hour)
+	if err := os.Chtimes(old, future, future); err != nil {
+		t.Fatal(err)
+	}
+	got := latestRecord(dir, "BENCH_2026-08-08.json")
+	if filepath.Base(got) != "BENCH_2026-08-01.json" {
+		t.Errorf("latest = %q, want BENCH_2026-08-01.json (newest embedded date)", got)
+	}
+	// A directory holding only undated records yields no baseline rather
+	// than an arbitrary pick.
+	undated := t.TempDir()
+	if err := os.WriteFile(filepath.Join(undated, "BENCH_backup.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := latestRecord(undated, "BENCH_2026-08-08.json"); got != "" {
+		t.Errorf("undated-only dir should yield no baseline, got %q", got)
+	}
+}
+
+func TestRecordDate(t *testing.T) {
+	cases := []struct {
+		name string
+		ok   bool
+		date string
+	}{
+		{"BENCH_2026-08-06.json", true, "2026-08-06"},
+		{"BENCH_2026-08-06_rerun.json", true, "2026-08-06"},
+		{"BENCH_backup.json", false, ""},
+		{"BENCH_26-8-6.json", false, ""},
+		{"BENCH_.json", false, ""},
+	}
+	for _, c := range cases {
+		d, ok := recordDate(c.name)
+		if ok != c.ok {
+			t.Errorf("recordDate(%q) ok = %v, want %v", c.name, ok, c.ok)
+			continue
+		}
+		if ok && d.Format("2006-01-02") != c.date {
+			t.Errorf("recordDate(%q) = %v, want %s", c.name, d, c.date)
+		}
 	}
 }
 

@@ -1,0 +1,254 @@
+// Command loadgen replays an obs JSONL export (the simulator's
+// per-node SoC timelines, see `experiments -obs`) as LNS uplink traffic
+// against a running lnsd daemon — the simulator is the traffic
+// generator. It can also run the identical replay through the
+// in-process library path (-local), which is how the daemon's output is
+// pinned byte-identical to direct netserver Ingest calls.
+//
+// Usage:
+//
+//	loadgen -in obs/run.jsonl -addr http://127.0.0.1:8080 -wu-out wu.json
+//	loadgen -in obs/run.jsonl -local -wu-out wu-lib.json
+//
+// Snapshot/restore smoke (resume must match an uninterrupted run):
+//
+//	loadgen -in run.jsonl -addr ... -stop-frac 0.5 -snapshot-out snap.json
+//	lnsd -restore snap.json &
+//	loadgen -in run.jsonl -addr ... -start-frac 0.5 -wu-out wu.json
+//
+// Batches POST sequentially (one in flight), so the daemon sees the
+// same deterministic stream order the library path does; a 429 answer
+// backs off for the advertised Retry-After and retries the same batch.
+// With -start-frac > 0 registration is skipped: the nodes are expected
+// to come from a restored snapshot, and re-registering live nodes would
+// reset their history and watermarks (see netserver.Register).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/lns"
+	"repro/internal/simtime"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in        = flag.String("in", "", "obs JSONL export to replay (required)")
+		addr      = flag.String("addr", "http://127.0.0.1:8080", "lnsd base URL")
+		local     = flag.Bool("local", false, "replay through the in-process library path instead of a daemon")
+		window    = flag.Duration("window", 0, "forecast-window length for report encoding (0 = trace sampling period)")
+		perPacket = flag.Int("reports-per-packet", 8, "transition reports per uplink packet")
+		perBatch  = flag.Int("batch", 64, "uplinks per ingest batch")
+		startFrac = flag.Float64("start-frac", 0, "resume replay at this fraction of the batch list (skips registration)")
+		stopFrac  = flag.Float64("stop-frac", 1, "stop replay at this fraction of the batch list")
+		interval  = flag.Duration("interval", 24*time.Hour, "daemon recompute interval (for the final end-of-trace recompute)")
+		wuOut     = flag.String("wu-out", "", "write the final w_u table (JSON) to this file")
+		snapOut   = flag.String("snapshot-out", "", "write a server snapshot (JSON) to this file after the replay")
+		waitReady = flag.Duration("wait-ready", 15*time.Second, "how long to poll the daemon's /healthz before giving up")
+		verbose   = flag.Bool("v", false, "log progress")
+	)
+	flag.Parse()
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	if *startFrac < 0 || *stopFrac > 1 || *startFrac > *stopFrac {
+		return fmt.Errorf("bad -start-frac/-stop-frac range [%v,%v]", *startFrac, *stopFrac)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	trace, err := lns.ParseObsJSONL(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	batches := lns.BuildBatches(trace, simtime.FromDuration(*window), *perPacket, *perBatch)
+	lo := int(*startFrac * float64(len(batches)))
+	hi := int(*stopFrac * float64(len(batches)))
+	finalAt := lns.LastUplinkAt(batches).Add(simtime.FromDuration(*interval))
+	if *verbose {
+		var uplinks int
+		for _, b := range batches[lo:hi] {
+			uplinks += len(b.Uplinks)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: %d nodes, batches [%d,%d) of %d, %d uplinks\n",
+			len(trace.Nodes), lo, hi, len(batches), uplinks)
+	}
+
+	if *local {
+		return runLocal(lns.Config{Interval: simtime.FromDuration(*interval)}, trace, batches, lo, hi, *wuOut, *snapOut, finalAt)
+	}
+	return runHTTP(*addr, trace, batches, lo, hi, *wuOut, *snapOut, finalAt, *waitReady, *verbose)
+}
+
+// runLocal is the reference path: the same registration, batch, and
+// recompute sequence applied directly to the library.
+func runLocal(cfg lns.Config, trace *lns.Trace, batches []lns.Batch, lo, hi int, wuOut, snapOut string, finalAt simtime.Time) error {
+	if lo != 0 {
+		return fmt.Errorf("-local replays from the start (-start-frac 0); split runs only make sense against a daemon")
+	}
+	srv, err := lns.ReplayLocalRange(cfg, trace, batches[:hi], hi == len(batches), finalAt)
+	if err != nil {
+		return err
+	}
+	if wuOut != "" {
+		var buf bytes.Buffer
+		if err := lns.WriteWuTable(&buf, srv.WuTable()); err != nil {
+			return err
+		}
+		if err := os.WriteFile(wuOut, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+	}
+	if snapOut != "" {
+		data, err := json.Marshal(srv.Snapshot())
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(snapOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runHTTP(addr string, trace *lns.Trace, batches []lns.Batch, lo, hi int, wuOut, snapOut string, finalAt simtime.Time, waitReady time.Duration, verbose bool) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	if err := awaitReady(client, addr, waitReady); err != nil {
+		return err
+	}
+
+	if lo == 0 {
+		req := lns.RegisterReq{}
+		for _, nt := range trace.Nodes {
+			req.Nodes = append(req.Nodes, lns.RegisterNode{Node: nt.ID, SoC: nt.InitialSoC})
+		}
+		if _, err := postJSON(client, addr+"/v1/register", req, nil); err != nil {
+			return fmt.Errorf("register: %w", err)
+		}
+	}
+
+	start := time.Now()
+	var uplinks, retries int
+	for i, b := range batches[lo:hi] {
+		for {
+			status, err := postJSON(client, addr+"/v1/uplinks", b, nil)
+			if err != nil {
+				return fmt.Errorf("batch %d: %w", lo+i, err)
+			}
+			if status == http.StatusAccepted {
+				break
+			}
+			if status != http.StatusTooManyRequests {
+				return fmt.Errorf("batch %d: unexpected status %d", lo+i, status)
+			}
+			retries++
+			time.Sleep(retryAfterDelay)
+		}
+		uplinks += len(b.Uplinks)
+	}
+	if hi == len(batches) {
+		if _, err := postJSON(client, addr+"/v1/recompute", lns.RecomputeReq{AtMs: int64(finalAt)}, nil); err != nil {
+			return fmt.Errorf("final recompute: %w", err)
+		}
+	}
+	if verbose {
+		elapsed := time.Since(start).Seconds()
+		fmt.Fprintf(os.Stderr, "loadgen: %d uplinks in %.2fs (%.0f msgs/s), %d backpressure retries\n",
+			uplinks, elapsed, float64(uplinks)/elapsed, retries)
+	}
+
+	if wuOut != "" {
+		if err := getToFile(client, addr+"/v1/wu", wuOut); err != nil {
+			return fmt.Errorf("wu-out: %w", err)
+		}
+	}
+	if snapOut != "" {
+		if err := getToFile(client, addr+"/v1/snapshot", snapOut); err != nil {
+			return fmt.Errorf("snapshot-out: %w", err)
+		}
+	}
+	return nil
+}
+
+// retryAfterDelay is the backoff on 429. The daemon advertises
+// Retry-After in whole seconds; replay tooling prefers a shorter fixed
+// spin so smoke runs do not stall on a briefly full lane.
+var retryAfterDelay = 100 * time.Millisecond
+
+func awaitReady(client *http.Client, addr string, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	for {
+		resp, err := client.Get(addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon at %s not ready after %v: %v", addr, patience, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func postJSON(client *http.Client, url string, body any, out any) (int, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode/100 == 2 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+		return resp.StatusCode, nil
+	}
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode/100 != 2 && resp.StatusCode != http.StatusTooManyRequests {
+		return resp.StatusCode, fmt.Errorf("status %s", strconv.Itoa(resp.StatusCode))
+	}
+	return resp.StatusCode, nil
+}
+
+func getToFile(client *http.Client, url, path string) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(f, resp.Body); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

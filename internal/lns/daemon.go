@@ -1,0 +1,309 @@
+package lns
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/battery"
+	"repro/internal/netserver"
+	"repro/internal/obs"
+	"repro/internal/simtime"
+)
+
+// Config parameterizes a daemon. The zero value selects the paper's
+// operating point: the default degradation model at 25 C with daily
+// recomputes (a TempC of exactly 0 is read as "unset"; pass a model
+// explicitly for sub-zero deployments).
+type Config struct {
+	Model    battery.Model
+	TempC    float64
+	Interval simtime.Duration
+	// QueueDepth bounds the ingest lane: how many accepted-but-unapplied
+	// batches may pile up before POST /v1/uplinks starts answering 429.
+	QueueDepth int
+	// RetryAfter is the back-off hint sent with a 429.
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Model == (battery.Model{}) {
+		c.Model = battery.DefaultModel()
+	}
+	if c.TempC == 0 {
+		c.TempC = 25
+	}
+	if c.Interval <= 0 {
+		c.Interval = simtime.Day
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// job is one entry of the ingest lane: either a batch of uplinks or a
+// control closure (registration, recompute, snapshot, w_u read, ...).
+// Control jobs ride the same FIFO as ingest jobs, so they observe a
+// server state that reflects every batch accepted before them — that
+// ordering is what makes GET /v1/wu and GET /v1/snapshot consistent
+// without any locking on the Server itself.
+type job struct {
+	uplinks []Uplink
+	ctl     func()
+	done    chan struct{}
+}
+
+// Daemon is the LNS service core: one netserver.Server owned by a
+// single worker goroutine, fed through a bounded queue. HTTP handlers
+// never touch the server directly; they enqueue. Ingest enqueues are
+// non-blocking (full queue → backpressure), control enqueues block
+// until executed.
+type Daemon struct {
+	cfg Config
+	srv *netserver.Server
+	rec *obs.Recorder
+
+	q          chan job
+	workerDone chan struct{}
+
+	cBatches, cBatchesRejected, cUplinks  *obs.Counter
+	cIngestNs, cRecomputeNs, cRecomputes *obs.Counter
+	gQueueDepth, gRecomputeLastMs        *obs.Gauge
+}
+
+// NewDaemon starts a daemon (its worker goroutine runs until Close).
+// The recorder is created internally; read it via Recorder.
+func NewDaemon(cfg Config) (*Daemon, error) {
+	cfg = cfg.withDefaults()
+	srv, err := netserver.New(cfg.Model, cfg.TempC, cfg.Interval)
+	if err != nil {
+		return nil, err
+	}
+	rec := obs.New(obs.Manifest{Tool: "lnsd", Experiment: "lns"}, 0)
+	srv.SetObserver(rec)
+	d := &Daemon{
+		cfg:              cfg,
+		srv:              srv,
+		rec:              rec,
+		q:                make(chan job, cfg.QueueDepth),
+		workerDone:       make(chan struct{}),
+		cBatches:         rec.Counter("lns.batches_applied"),
+		cBatchesRejected: rec.Counter("lns.batches_rejected"),
+		cUplinks:         rec.Counter("lns.uplinks_applied"),
+		cIngestNs:        rec.Counter("lns.ingest_ns_total"),
+		cRecomputeNs:     rec.Counter("lns.recompute_ns_total"),
+		cRecomputes:      rec.Counter("lns.recomputes"),
+		gQueueDepth:      rec.Gauge("lns.queue_depth"),
+		gRecomputeLastMs: rec.Gauge("lns.recompute_last_ms"),
+	}
+	go d.worker()
+	return d, nil
+}
+
+// Close drains the queue and stops the worker. The HTTP server feeding
+// the daemon must be shut down first; enqueuing after Close panics.
+func (d *Daemon) Close() {
+	close(d.q)
+	<-d.workerDone
+}
+
+// Recorder exposes the daemon's metrics (obs counters/gauges).
+func (d *Daemon) Recorder() *obs.Recorder { return d.rec }
+
+func (d *Daemon) worker() {
+	defer close(d.workerDone)
+	for j := range d.q {
+		d.gQueueDepth.Set(float64(len(d.q)))
+		if j.ctl != nil {
+			j.ctl()
+			close(j.done)
+			continue
+		}
+		start := time.Now()
+		ReplayBatch(d.srv, Batch{Uplinks: j.uplinks}, d.noteRecompute)
+		d.cIngestNs.Add(time.Since(start).Nanoseconds())
+		d.cBatches.Inc()
+		d.cUplinks.Add(int64(len(j.uplinks)))
+	}
+}
+
+func (d *Daemon) noteRecompute(wall time.Duration) {
+	d.cRecomputeNs.Add(wall.Nanoseconds())
+	d.cRecomputes.Inc()
+	d.gRecomputeLastMs.Set(float64(wall.Nanoseconds()) / 1e6)
+}
+
+// do runs fn on the worker goroutine after everything queued before it,
+// blocking until done.
+func (d *Daemon) do(fn func()) {
+	j := job{ctl: fn, done: make(chan struct{})}
+	d.q <- j
+	<-j.done
+}
+
+// tryEnqueue offers a batch to the ingest lane without blocking; false
+// means the lane is full (the recompute side fell behind) and the
+// caller must back off.
+func (d *Daemon) tryEnqueue(uplinks []Uplink) bool {
+	select {
+	case d.q <- job{uplinks: uplinks}:
+		d.gQueueDepth.Set(float64(len(d.q)))
+		return true
+	default:
+		d.cBatchesRejected.Inc()
+		return false
+	}
+}
+
+// RegisterAll applies registrations in order on the worker.
+func (d *Daemon) RegisterAll(nodes []RegisterNode) {
+	d.do(func() {
+		for _, n := range nodes {
+			if n.Rejoin {
+				d.srv.Rejoin(n.Node, n.SoC)
+			} else {
+				d.srv.Register(n.Node, n.SoC)
+			}
+		}
+	})
+}
+
+// RecomputeAt forces the due check at a virtual instant, timing the
+// recompute like the ingest path does.
+func (d *Daemon) RecomputeAt(at simtime.Time) bool {
+	var ran bool
+	d.do(func() {
+		start := time.Now()
+		if d.srv.RecomputeIfDue(at) {
+			d.noteRecompute(time.Since(start))
+			ran = true
+		}
+	})
+	return ran
+}
+
+// WuTable returns the disseminated w_u table, consistent with every
+// batch accepted before the call.
+func (d *Daemon) WuTable() []netserver.NodeWu {
+	var table []netserver.NodeWu
+	d.do(func() { table = d.srv.WuTable() })
+	return table
+}
+
+// SnapshotState captures the full server state, consistent with every
+// batch accepted before the call.
+func (d *Daemon) SnapshotState() *netserver.Snapshot {
+	var snap *netserver.Snapshot
+	d.do(func() { snap = d.srv.Snapshot() })
+	return snap
+}
+
+// RestoreState replaces the server with one rebuilt from a snapshot.
+func (d *Daemon) RestoreState(snap *netserver.Snapshot) error {
+	var err error
+	d.do(func() {
+		var srv *netserver.Server
+		if srv, err = netserver.Restore(snap); err == nil {
+			srv.SetObserver(d.rec)
+			d.srv = srv
+		}
+	})
+	return err
+}
+
+// maxBodyBytes bounds request bodies; a batch of 4096 uplinks with full
+// payloads stays far below it.
+const maxBodyBytes = 64 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	GET  /healthz      liveness
+//	GET  /v1/metrics   obs counters/gauges as CSV
+//	POST /v1/register  {"nodes":[{"node":0,"soc":0.9,"rejoin":false},...]}
+//	POST /v1/uplinks   {"uplinks":[{"node":0,"at_ms":...,"window_ms":...,"reports":[{"ago":0,"soc_q":...}]}]}
+//	                   202 queued; 429 + Retry-After when the ingest
+//	                   lane is full (backpressure contract)
+//	POST /v1/recompute {"at_ms":...} -> {"ran":bool}
+//	GET  /v1/wu        disseminated w_u table (deterministic JSON)
+//	GET  /v1/snapshot  full server state
+//	POST /v1/restore   body of /v1/snapshot
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/csv")
+		d.rec.WriteCountersCSV(w)
+	})
+	mux.HandleFunc("POST /v1/register", func(w http.ResponseWriter, r *http.Request) {
+		var req RegisterReq
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		d.RegisterAll(req.Nodes)
+		writeJSON(w, http.StatusOK, map[string]int{"registered": len(req.Nodes)})
+	})
+	mux.HandleFunc("POST /v1/uplinks", func(w http.ResponseWriter, r *http.Request) {
+		var b Batch
+		if !decodeBody(w, r, &b) {
+			return
+		}
+		if !d.tryEnqueue(b.Uplinks) {
+			w.Header().Set("Retry-After",
+				strconv.Itoa(int(max(1, d.cfg.RetryAfter/time.Second))))
+			http.Error(w, "ingest lane full, retry later", http.StatusTooManyRequests)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, IngestResp{Queued: len(b.Uplinks)})
+	})
+	mux.HandleFunc("POST /v1/recompute", func(w http.ResponseWriter, r *http.Request) {
+		var req RecomputeReq
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		writeJSON(w, http.StatusOK, RecomputeResp{Ran: d.RecomputeAt(simtime.Time(req.AtMs))})
+	})
+	mux.HandleFunc("GET /v1/wu", func(w http.ResponseWriter, r *http.Request) {
+		table := d.WuTable()
+		w.Header().Set("Content-Type", "application/json")
+		WriteWuTable(w, table)
+	})
+	mux.HandleFunc("GET /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		snap := d.SnapshotState()
+		writeJSON(w, http.StatusOK, snap)
+	})
+	mux.HandleFunc("POST /v1/restore", func(w http.ResponseWriter, r *http.Request) {
+		var snap netserver.Snapshot
+		if !decodeBody(w, r, &snap) {
+			return
+		}
+		if err := d.RestoreState(&snap); err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"nodes": len(snap.Nodes)})
+	})
+	return mux
+}

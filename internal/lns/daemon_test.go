@@ -1,0 +1,421 @@
+package lns
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/battery"
+	"repro/internal/netserver"
+	"repro/internal/simtime"
+)
+
+// synthTrace builds a deterministic multi-node trace: daily SoC cycles
+// with per-node amplitude and phase, sampled every 10 minutes.
+func synthTrace(nodes, days int, seed uint64) *Trace {
+	tr := &Trace{SampleEvery: 10 * simtime.Minute}
+	rng := rand.New(rand.NewPCG(seed, 99))
+	for id := 0; id < nodes; id++ {
+		depth := 0.2 + 0.5*rng.Float64()
+		phase := rng.IntN(24)
+		nt := NodeTrace{ID: id, InitialSoC: 0.9}
+		for d := 0; d < days; d++ {
+			for h := 0; h < 24; h += 2 {
+				at := simtime.Time(d)*simtime.Time(simtime.Day) + simtime.Time(h)*simtime.Time(simtime.Hour)
+				soc := 0.9 - depth*0.5*(1+float64((h+phase)%12)/6-1)
+				nt.Transitions = append(nt.Transitions, battery.Transition{
+					At:  at,
+					SoC: min(1, max(0.05, soc)),
+				})
+			}
+		}
+		if len(nt.Transitions) > 0 {
+			nt.InitialSoC = nt.Transitions[0].SoC
+		}
+		tr.Nodes = append(tr.Nodes, nt)
+	}
+	return tr
+}
+
+// wuBytes renders a w_u table with the canonical writer.
+func wuBytes(t *testing.T, table []netserver.NodeWu) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteWuTable(&buf, table); err != nil {
+		t.Fatalf("WriteWuTable: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// driveHTTP replays registration, batches, and the final recompute
+// through the daemon's HTTP API, one request at a time (order
+// preserved), and returns the final w_u table bytes from GET /v1/wu.
+func driveHTTP(t *testing.T, ts *httptest.Server, tr *Trace, batches []Batch, register bool, interval simtime.Duration) []byte {
+	t.Helper()
+	post := func(path string, body any) *http.Response {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatalf("marshal %s: %v", path, err)
+		}
+		resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		return resp
+	}
+	if register {
+		req := RegisterReq{}
+		for _, nt := range tr.Nodes {
+			req.Nodes = append(req.Nodes, RegisterNode{Node: nt.ID, SoC: nt.InitialSoC})
+		}
+		resp := post("/v1/register", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("register status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	for i, b := range batches {
+		for {
+			resp := post("/v1/uplinks", b)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusAccepted {
+				break
+			}
+			if resp.StatusCode != http.StatusTooManyRequests {
+				t.Fatalf("batch %d: status %d", i, resp.StatusCode)
+			}
+			// Backpressure: the test client just spins; loadgen sleeps
+			// the advertised Retry-After.
+		}
+	}
+	resp := post("/v1/recompute", RecomputeReq{AtMs: int64(LastUplinkAt(batches).Add(interval))})
+	resp.Body.Close()
+
+	wu, err := ts.Client().Get(ts.URL + "/v1/wu")
+	if err != nil {
+		t.Fatalf("GET /v1/wu: %v", err)
+	}
+	defer wu.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(wu.Body); err != nil {
+		t.Fatalf("read wu: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestHTTPMatchesLibraryPath: a clean replay through the daemon's HTTP
+// path must produce a w_u table byte-identical to the in-process
+// library path (ReplayLocal).
+func TestHTTPMatchesLibraryPath(t *testing.T) {
+	tr := synthTrace(6, 5, 1)
+	batches := BuildBatches(tr, 0, 8, 16)
+	cfg := Config{}
+
+	lib, err := ReplayLocal(cfg, tr, batches)
+	if err != nil {
+		t.Fatalf("ReplayLocal: %v", err)
+	}
+	want := wuBytes(t, lib.WuTable())
+
+	d, err := NewDaemon(cfg)
+	if err != nil {
+		t.Fatalf("NewDaemon: %v", err)
+	}
+	defer d.Close()
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+
+	got := driveHTTP(t, ts, tr, batches, true, cfg.withDefaults().Interval)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("HTTP path w_u table diverged from library path:\nhttp %s\nlib  %s", got, want)
+	}
+	if len(want) <= len("[]\n") {
+		t.Fatal("test premise broken: empty w_u table")
+	}
+}
+
+// perturb builds an adversarial variant of the uplink stream: duplicated
+// uplinks, bounded and full shuffles, and random re-batching. The same
+// perturbed stream feeds both paths; the perturbation itself is
+// deterministic per trial.
+func perturb(batches []Batch, rng *rand.Rand) []Batch {
+	var ups []Uplink
+	for _, b := range batches {
+		ups = append(ups, b.Uplinks...)
+	}
+	// Duplicate ~20% (exact retransmissions at the same instant).
+	var dup []Uplink
+	for _, u := range ups {
+		dup = append(dup, u)
+		if rng.IntN(5) == 0 {
+			dup = append(dup, u)
+		}
+	}
+	// Shuffle: every other trial bounded (window 8), else full.
+	if rng.IntN(2) == 0 {
+		rng.Shuffle(len(dup), func(i, j int) { dup[i], dup[j] = dup[j], dup[i] })
+	} else {
+		for i := range dup {
+			j := i + rng.IntN(8)
+			if j < len(dup) {
+				dup[i], dup[j] = dup[j], dup[i]
+			}
+		}
+	}
+	// Re-batch with random sizes, including single-uplink batches.
+	var out []Batch
+	for lo := 0; lo < len(dup); {
+		hi := min(lo+1+rng.IntN(17), len(dup))
+		out = append(out, Batch{Uplinks: dup[lo:hi]})
+		lo = hi
+	}
+	return out
+}
+
+// TestHTTPIngestIdempotence is the property-style satellite test:
+// shuffled + duplicated + arbitrarily re-batched report streams driven
+// through the HTTP path must leave a w_u table byte-identical to direct
+// library Ingest calls fed the same stream. Additionally, a
+// duplicates-only stream (order preserved) must match the clean run
+// exactly — duplicates are invisible.
+func TestHTTPIngestIdempotence(t *testing.T) {
+	tr := synthTrace(5, 4, 2)
+	clean := BuildBatches(tr, 0, 6, 16)
+	cfg := Config{}
+	interval := cfg.withDefaults().Interval
+
+	cleanLib, err := ReplayLocal(cfg, tr, clean)
+	if err != nil {
+		t.Fatalf("ReplayLocal: %v", err)
+	}
+	cleanWant := wuBytes(t, cleanLib.WuTable())
+
+	for trial := 0; trial < 6; trial++ {
+		rng := rand.New(rand.NewPCG(11, uint64(trial)))
+		stream := perturb(clean, rng)
+
+		lib, err := ReplayLocal(cfg, tr, stream)
+		if err != nil {
+			t.Fatalf("trial %d: ReplayLocal: %v", trial, err)
+		}
+		want := wuBytes(t, lib.WuTable())
+
+		d, err := NewDaemon(cfg)
+		if err != nil {
+			t.Fatalf("trial %d: NewDaemon: %v", trial, err)
+		}
+		ts := httptest.NewServer(d.Handler())
+		got := driveHTTP(t, ts, tr, stream, true, interval)
+		ts.Close()
+		d.Close()
+
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: HTTP path diverged from library path on perturbed stream:\nhttp %s\nlib  %s",
+				trial, got, want)
+		}
+	}
+
+	// Duplicates only, order preserved: must equal the clean run.
+	var dupOnly []Batch
+	for _, b := range clean {
+		var ups []Uplink
+		for _, u := range b.Uplinks {
+			ups = append(ups, u, u)
+		}
+		dupOnly = append(dupOnly, Batch{Uplinks: ups})
+	}
+	d, err := NewDaemon(cfg)
+	if err != nil {
+		t.Fatalf("NewDaemon: %v", err)
+	}
+	defer d.Close()
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+	got := driveHTTP(t, ts, tr, dupOnly, true, interval)
+	if !bytes.Equal(got, cleanWant) {
+		t.Fatalf("duplicated stream diverged from clean run:\ndup   %s\nclean %s", got, cleanWant)
+	}
+}
+
+// TestSnapshotRestoreOverHTTP: replay half the stream, snapshot over
+// HTTP, restore into a fresh daemon, replay the rest — the final table
+// must match an uninterrupted run byte-for-byte.
+func TestSnapshotRestoreOverHTTP(t *testing.T) {
+	tr := synthTrace(4, 6, 3)
+	batches := BuildBatches(tr, 0, 8, 8)
+	cfg := Config{}
+	interval := cfg.withDefaults().Interval
+	cut := len(batches) / 2
+
+	lib, err := ReplayLocal(cfg, tr, batches)
+	if err != nil {
+		t.Fatalf("ReplayLocal: %v", err)
+	}
+	want := wuBytes(t, lib.WuTable())
+
+	// First half.
+	d1, err := NewDaemon(cfg)
+	if err != nil {
+		t.Fatalf("NewDaemon: %v", err)
+	}
+	ts1 := httptest.NewServer(d1.Handler())
+	req := RegisterReq{}
+	for _, nt := range tr.Nodes {
+		req.Nodes = append(req.Nodes, RegisterNode{Node: nt.ID, SoC: nt.InitialSoC})
+	}
+	data, _ := json.Marshal(req)
+	if resp, err := ts1.Client().Post(ts1.URL+"/v1/register", "application/json", bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	for _, b := range batches[:cut] {
+		body, _ := json.Marshal(b)
+		resp, err := ts1.Client().Post(ts1.URL+"/v1/uplinks", "application/json", bytes.NewReader(body))
+		if err != nil || resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("first-half batch: %v status %v", err, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	snapResp, err := ts1.Client().Get(ts1.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatalf("GET /v1/snapshot: %v", err)
+	}
+	var snapBody bytes.Buffer
+	snapBody.ReadFrom(snapResp.Body)
+	snapResp.Body.Close()
+	ts1.Close()
+	d1.Close()
+
+	// Restored daemon resumes at the same batch index, no re-register.
+	d2, err := NewDaemon(cfg)
+	if err != nil {
+		t.Fatalf("NewDaemon: %v", err)
+	}
+	defer d2.Close()
+	ts2 := httptest.NewServer(d2.Handler())
+	defer ts2.Close()
+	resp, err := ts2.Client().Post(ts2.URL+"/v1/restore", "application/json", bytes.NewReader(snapBody.Bytes()))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/restore: %v status %v", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+	got := driveHTTP(t, ts2, tr, batches[cut:], false, interval)
+
+	if !bytes.Equal(got, want) {
+		t.Fatalf("snapshot/restore run diverged from uninterrupted run:\nresumed %s\nfull    %s", got, want)
+	}
+}
+
+// TestBackpressure429: when the ingest lane is full, POST /v1/uplinks
+// must answer 429 with a Retry-After hint, reject without corrupting
+// state, and accept again once the lane drains.
+func TestBackpressure429(t *testing.T) {
+	d, err := NewDaemon(Config{QueueDepth: 2})
+	if err != nil {
+		t.Fatalf("NewDaemon: %v", err)
+	}
+	defer d.Close()
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+
+	d.RegisterAll([]RegisterNode{{Node: 0, SoC: 0.9}})
+
+	// Stall the worker on a control job so the queue cannot drain.
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	go d.do(func() { close(started); <-gate })
+	<-started
+
+	post := func() *http.Response {
+		b := Batch{Uplinks: []Uplink{{Node: 0, AtMs: int64(simtime.Hour), WindowMs: int64(simtime.Minute)}}}
+		data, _ := json.Marshal(b)
+		resp, err := ts.Client().Post(ts.URL+"/v1/uplinks", "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("POST /v1/uplinks: %v", err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	// Fill the lane, then observe the backpressure response.
+	var saw429 *http.Response
+	for i := 0; i < 10 && saw429 == nil; i++ {
+		if resp := post(); resp.StatusCode == http.StatusTooManyRequests {
+			saw429 = resp
+		} else if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("unexpected status %d", resp.StatusCode)
+		}
+	}
+	if saw429 == nil {
+		t.Fatal("never saw 429 with a stalled worker and QueueDepth=2")
+	}
+	if ra := saw429.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 carries no Retry-After header")
+	}
+	if rejected := d.Recorder().Counter("lns.batches_rejected").Value(); rejected == 0 {
+		t.Error("lns.batches_rejected not incremented")
+	}
+
+	// Drain and verify the lane accepts again.
+	close(gate)
+	if resp := post(); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-drain status %d, want 202", resp.StatusCode)
+	}
+}
+
+// TestMetricsEndpoint: the obs counters surface over HTTP in the
+// deterministic CSV form.
+func TestMetricsEndpoint(t *testing.T) {
+	d, err := NewDaemon(Config{})
+	if err != nil {
+		t.Fatalf("NewDaemon: %v", err)
+	}
+	defer d.Close()
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+
+	tr := synthTrace(2, 2, 4)
+	batches := BuildBatches(tr, 0, 8, 8)
+	driveHTTP(t, ts, tr, batches, true, simtime.Day)
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatalf("GET /v1/metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	body := buf.String()
+	for _, want := range []string{
+		"counter,lns.batches_applied,", "counter,lns.uplinks_applied,",
+		"counter,netserver.packets_ingested,", "counter,netserver.recomputes,",
+		"gauge,lns.queue_depth,",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, "counter,lns.batches_applied,0\n") {
+		t.Error("lns.batches_applied still 0 after a replay")
+	}
+}
+
+// TestConfigDefaults pins the zero-value contract.
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Model != battery.DefaultModel() || c.TempC != 25 || c.Interval != simtime.Day {
+		t.Errorf("unexpected defaults: %+v", c)
+	}
+	if c.QueueDepth <= 0 || c.RetryAfter <= 0 {
+		t.Errorf("queue defaults not filled: %+v", c)
+	}
+	if fmt.Sprint(c.Interval) != "24h0m0s" {
+		t.Errorf("interval = %v, want 24h", c.Interval)
+	}
+}

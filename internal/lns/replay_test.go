@@ -1,0 +1,97 @@
+package lns
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+const sampleJSONL = `{"t":"manifest","schema":1,"tool":"repro","version":"0.4.0","seed":1,"replicate":0,"nodes":2,"sample_every_ms":600000}
+{"t":"counter","name":"netserver.packets_ingested","v":12}
+{"t":"sample","node":1,"at_ms":600000,"soc":0.7,"deg_cal":0,"deg_cyc":0,"deg_total":0,"dif":0,"window":-1,"queue":0,"retx":0,"stale_wu":0}
+{"t":"sample","node":0,"at_ms":0,"soc":0.9,"deg_cal":0,"deg_cyc":0,"deg_total":0,"dif":0,"window":-1,"queue":0,"retx":0,"stale_wu":0}
+{"t":"sample","node":0,"at_ms":600000,"soc":0.85,"deg_cal":0,"deg_cyc":0,"deg_total":0,"dif":0,"window":-1,"queue":0,"retx":0,"stale_wu":0}
+{"t":"sample","node":0,"at_ms":1200000,"soc":0.8,"deg_cal":0,"deg_cyc":0,"deg_total":0,"dif":0,"window":-1,"queue":0,"retx":0,"stale_wu":0}
+{"t":"event","node":0,"at_ms":700000,"kind":"brownout"}
+`
+
+func TestParseObsJSONL(t *testing.T) {
+	tr, err := ParseObsJSONL(strings.NewReader(sampleJSONL))
+	if err != nil {
+		t.Fatalf("ParseObsJSONL: %v", err)
+	}
+	if tr.SampleEvery != 10*simtime.Minute {
+		t.Errorf("SampleEvery = %v, want 10m", tr.SampleEvery)
+	}
+	if len(tr.Nodes) != 2 || tr.Nodes[0].ID != 0 || tr.Nodes[1].ID != 1 {
+		t.Fatalf("nodes not ascending: %+v", tr.Nodes)
+	}
+	if got := len(tr.Nodes[0].Transitions); got != 3 {
+		t.Errorf("node 0 has %d transitions, want 3", got)
+	}
+	if tr.Nodes[0].InitialSoC != 0.9 {
+		t.Errorf("node 0 InitialSoC = %v, want first-sample 0.9", tr.Nodes[0].InitialSoC)
+	}
+	// Transitions sorted by time even though the file interleaved nodes.
+	prev := simtime.Time(-1)
+	for _, x := range tr.Nodes[0].Transitions {
+		if x.At <= prev {
+			t.Fatalf("node 0 transitions not strictly ascending: %v after %v", x.At, prev)
+		}
+		prev = x.At
+	}
+}
+
+func TestParseObsJSONLErrors(t *testing.T) {
+	if _, err := ParseObsJSONL(strings.NewReader(`{"t":"manifest","sample_every_ms":600000}` + "\n")); err == nil {
+		t.Error("no samples should be an error")
+	}
+	if _, err := ParseObsJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Error("malformed line should be an error")
+	}
+}
+
+func TestBuildBatchesShape(t *testing.T) {
+	tr, err := ParseObsJSONL(strings.NewReader(sampleJSONL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := BuildBatches(tr, 0, 2, 2)
+
+	// Deterministic: same inputs, same batches.
+	again := BuildBatches(tr, 0, 2, 2)
+	if !reflect.DeepEqual(batches, again) {
+		t.Fatal("BuildBatches is not deterministic")
+	}
+
+	var total int
+	lastPerNode := map[int]int64{}
+	prevAt := int64(-1)
+	for _, b := range batches {
+		for _, u := range b.Uplinks {
+			total++
+			if len(u.Reports) == 0 || len(u.Reports) > 2 {
+				t.Fatalf("uplink has %d reports, want 1..2", len(u.Reports))
+			}
+			if u.AtMs < prevAt {
+				t.Fatalf("global uplink order not ascending: %d after %d", u.AtMs, prevAt)
+			}
+			prevAt = u.AtMs
+			// Per-node packet times strictly ascend, so the server's
+			// duplicate watermark never drops legitimate replay packets.
+			if last, ok := lastPerNode[u.Node]; ok && u.AtMs <= last {
+				t.Fatalf("node %d packet times not strictly ascending", u.Node)
+			}
+			lastPerNode[u.Node] = u.AtMs
+			for _, r := range u.Reports {
+				_ = r.Ago // offsets are unsigned by construction
+			}
+		}
+	}
+	// node 0: 3 transitions / 2 per packet = 2 packets; node 1: 1 packet.
+	if total != 3 {
+		t.Fatalf("built %d uplinks, want 3", total)
+	}
+}

@@ -49,6 +49,7 @@ type Server struct {
 	// Observability handles; nil (no-op) unless SetObserver installed
 	// them.
 	cPackets, cPacketsDup, cReports, cReportsStale, cRecomputes *obs.Counter
+	cRegisters, cRejoins                                        *obs.Counter
 	gDmax                                                       *obs.Gauge
 }
 
@@ -63,6 +64,8 @@ func (s *Server) SetObserver(r *obs.Recorder) {
 	s.cReports = r.Counter("netserver.reports_ingested")
 	s.cReportsStale = r.Counter("netserver.reports_stale")
 	s.cRecomputes = r.Counter("netserver.recomputes")
+	s.cRegisters = r.Counter("netserver.registers")
+	s.cRejoins = r.Counter("netserver.rejoins")
 	s.gDmax = r.Gauge("netserver.dmax")
 }
 
@@ -97,12 +100,20 @@ func New(model battery.Model, tempC float64, interval simtime.Duration) (*Server
 }
 
 // Register adds a node with its initial state of charge. Registering an
-// existing node resets its history. Negative IDs are rejected (the
-// dense index has no slot for them).
+// existing node resets its ENTIRE history: the degradation tracker AND
+// the ingestion watermarks return to "nothing seen yet", so a report or
+// packet retransmitted from before the reset replays as fresh data.
+// That is correct exactly once — when the physical battery itself was
+// replaced. A node that merely restarted (brownout, firmware reboot)
+// must go through Rejoin, which keeps both the degradation history and
+// the watermarks; the simulator's brownout path and the testbed gateway
+// do so, and TestSimBrownoutRejoinsNeverReregisters pins it. Negative
+// IDs are rejected (the dense index has no slot for them).
 func (s *Server) Register(nodeID int, initialSoC float64) {
 	if nodeID < 0 {
 		return
 	}
+	s.cRegisters.Inc()
 	st := &nodeState{
 		tracker:      battery.NewTracker(s.model, s.tempC),
 		lastPacketAt: noneYet,
@@ -138,11 +149,15 @@ func (s *Server) Rejoin(nodeID int, currentSoC float64) {
 		s.Register(nodeID, currentSoC)
 		return
 	}
+	s.cRejoins.Inc()
 	st.tracker.Push(currentSoC)
 }
 
 // NumNodes returns how many nodes are registered.
 func (s *Server) NumNodes() int { return s.numNodes }
+
+// Registered reports whether the node is currently registered.
+func (s *Server) Registered(nodeID int) bool { return s.state(nodeID) != nil }
 
 // Ingest folds a decoded packet's transition reports into the node's
 // reconstructed SoC trace. packetAt is the packet's reception time and
@@ -230,8 +245,14 @@ func (s *Server) recompute(now simtime.Time) {
 }
 
 // QuantizeWu quantizes a normalized degradation in [0,1] to the 1-byte
-// wire form carried on ACKs.
+// wire form carried on ACKs. NaN clamps to 0 explicitly: min/max
+// propagate NaN, and Go's float-to-integer conversion of NaN yields an
+// implementation-defined value — a daemon ingesting malformed reports
+// must not disseminate an arbitrary byte for it.
 func QuantizeWu(wu float64) byte {
+	if math.IsNaN(wu) {
+		return 0
+	}
 	return byte(math.Round(min(1, max(0, wu)) * 255))
 }
 
@@ -260,20 +281,20 @@ func (s *Server) Degradation(nodeID int) float64 {
 
 // MaxDegradation returns the highest computed capacity fade in the
 // network and the node holding it (-1 when no nodes are registered).
-// Ties break toward the lowest node ID, so the reported worst node
-// never depended on iteration order (the index walk is ascending now,
-// but the contract predates it).
+// Ties break toward the lowest node ID by construction: the index walk
+// is ascending and the running maximum only moves on a strict
+// improvement, so the first node carrying the maximum keeps it. (An
+// earlier version also had an `id < nodeID` tie-break arm, unreachable
+// under the ascending walk — a later equal-degradation id is never
+// smaller than the one already held.)
 func (s *Server) MaxDegradation() (nodeID int, degradation float64) {
 	nodeID = -1
 	for id, st := range s.nodes {
 		if st == nil {
 			continue
 		}
-		switch {
-		case nodeID == -1, st.degr > degradation:
+		if nodeID == -1 || st.degr > degradation {
 			nodeID, degradation = id, st.degr
-		case st.degr == degradation && id < nodeID:
-			nodeID = id
 		}
 	}
 	return nodeID, degradation

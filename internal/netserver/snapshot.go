@@ -1,0 +1,134 @@
+package netserver
+
+import (
+	"fmt"
+
+	"repro/internal/battery"
+	"repro/internal/simtime"
+)
+
+// SnapshotSchema identifies the snapshot layout; bump it when fields
+// change meaning so a daemon refuses to restore a foreign format.
+const SnapshotSchema = 1
+
+// NodeSnapshot is one node's serializable server-side state.
+type NodeSnapshot struct {
+	ID      int                     `json:"id"`
+	Tracker battery.TrackerSnapshot `json:"tracker"`
+	// Degr and Wu are the results of the node's latest recompute; they
+	// are carried so a restored server disseminates the same values
+	// before its first recompute runs.
+	Degr float64 `json:"degr"`
+	Wu   byte    `json:"wu"`
+	// LastPacketAtMs / LastReportAtMs are the ingestion watermarks
+	// (simulated milliseconds; -1 = nothing seen yet). Restoring them is
+	// what keeps a pre-snapshot retransmission deduplicated after a
+	// restart.
+	LastPacketAtMs int64 `json:"last_packet_at_ms"`
+	LastReportAtMs int64 `json:"last_report_at_ms"`
+}
+
+// Snapshot is the full serializable server state. It embeds the model
+// and configuration so a restored daemon cannot silently recompute under
+// different constants than the state was accumulated with.
+type Snapshot struct {
+	Schema         int           `json:"schema"`
+	Model          battery.Model `json:"model"`
+	TempC          float64       `json:"temp_c"`
+	IntervalMs     int64         `json:"interval_ms"`
+	Computed       bool          `json:"computed"`
+	FirstComputeMs int64         `json:"first_compute_ms"`
+	NextDueMs      int64         `json:"next_due_ms"`
+	// Nodes is ascending by ID; unregistered slots are absent.
+	Nodes []NodeSnapshot `json:"nodes"`
+}
+
+// Snapshot captures the server's complete state. The ascending index
+// walk makes the node order (and hence the serialized bytes for a given
+// state) deterministic.
+func (s *Server) Snapshot() *Snapshot {
+	snap := &Snapshot{
+		Schema:         SnapshotSchema,
+		Model:          s.model,
+		TempC:          s.tempC,
+		IntervalMs:     int64(s.interval),
+		Computed:       s.computed,
+		FirstComputeMs: int64(s.firstCompute),
+		NextDueMs:      int64(s.nextDue),
+		Nodes:          make([]NodeSnapshot, 0, s.numNodes),
+	}
+	for id, st := range s.nodes {
+		if st == nil {
+			continue
+		}
+		snap.Nodes = append(snap.Nodes, NodeSnapshot{
+			ID:             id,
+			Tracker:        st.tracker.Snapshot(),
+			Degr:           st.degr,
+			Wu:             st.wu,
+			LastPacketAtMs: int64(st.lastPacketAt),
+			LastReportAtMs: int64(st.lastReportAt),
+		})
+	}
+	return snap
+}
+
+// Restore rebuilds a server from a snapshot. The result answers every
+// subsequent Ingest/Recompute sequence with the same bytes the
+// snapshotted server would have: tracker restoration is exact (see
+// battery.RestoreTracker) and the recompute grid anchor, dissemination
+// results, and ingestion watermarks are all carried over.
+func Restore(snap *Snapshot) (*Server, error) {
+	if snap.Schema != SnapshotSchema {
+		return nil, fmt.Errorf("netserver: snapshot schema %d, want %d", snap.Schema, SnapshotSchema)
+	}
+	s, err := New(snap.Model, snap.TempC, simtime.Duration(snap.IntervalMs))
+	if err != nil {
+		return nil, err
+	}
+	s.computed = snap.Computed
+	s.firstCompute = simtime.Time(snap.FirstComputeMs)
+	s.nextDue = simtime.Time(snap.NextDueMs)
+	prev := -1
+	for _, ns := range snap.Nodes {
+		if ns.ID <= prev {
+			return nil, fmt.Errorf("netserver: snapshot nodes not ascending (%d after %d)", ns.ID, prev)
+		}
+		prev = ns.ID
+		st := &nodeState{
+			tracker:      battery.RestoreTracker(snap.Model, snap.TempC, ns.Tracker),
+			degr:         ns.Degr,
+			wu:           ns.Wu,
+			lastPacketAt: simtime.Time(ns.LastPacketAtMs),
+			lastReportAt: simtime.Time(ns.LastReportAtMs),
+		}
+		for ns.ID >= len(s.nodes) {
+			s.nodes = append(s.nodes, nil)
+		}
+		s.nodes[ns.ID] = st
+		s.numNodes++
+	}
+	return s, nil
+}
+
+// NodeWu is one row of the disseminated w_u table.
+type NodeWu struct {
+	Node int  `json:"node"`
+	Wu   byte `json:"wu"`
+}
+
+// WuTable returns every registered node's latest quantized w_u in
+// ascending node-ID order — the exact byte each node would receive on
+// its next ACK. The deterministic order makes two tables comparable
+// byte-for-byte, which is how the daemon smoke pins HTTP-path ingestion
+// against the in-process library path.
+func (s *Server) WuTable() []NodeWu {
+	table := make([]NodeWu, 0, s.numNodes)
+	for id, st := range s.nodes {
+		if st == nil {
+			continue
+		}
+		table = append(table, NodeWu{Node: id, Wu: st.wu})
+	}
+	return table
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -83,6 +84,38 @@ func TestFaultsGracefulDegradation(t *testing.T) {
 		if prr := n.Stats.PRR(); math.IsNaN(prr) || prr < 0 || prr > 1 {
 			t.Errorf("node %d: PRR %v out of range under faults", n.ID, prr)
 		}
+	}
+}
+
+// TestSimBrownoutRejoinsNeverReregisters pins the join-path contract
+// the network server's dedup watermarks depend on: a node that browns
+// out and comes back is the same battery with the same history, so the
+// simulator must re-admit it through Rejoin (watermarks preserved) and
+// never through Register (which resets watermarks and discards the
+// degradation history — battery-replacement semantics, see
+// netserver.Register). If a rejoin path ever drifted to Register, every
+// retransmit already in flight at the brownout would be re-ingested as
+// fresh data and w_u would silently fork from the node's real history.
+func TestSimBrownoutRejoinsNeverReregisters(t *testing.T) {
+	cfg := faultyScenario()
+	rec := obs.New(obs.Manifest{Tool: "test"}, 0)
+	res := mustRun(t, cfg, Hooks{Obs: rec})
+
+	var brownouts int64
+	for _, n := range res.Nodes {
+		brownouts += n.Stats.Brownouts
+	}
+	if brownouts == 0 {
+		t.Fatal("scenario produced no brownouts; the assertion below would be vacuous")
+	}
+	registers := rec.Counter("netserver.registers").Value()
+	rejoins := rec.Counter("netserver.rejoins").Value()
+	if registers != int64(cfg.Nodes) {
+		t.Errorf("netserver.registers = %d, want exactly one per node (%d): a live node was re-registered",
+			registers, cfg.Nodes)
+	}
+	if rejoins == 0 {
+		t.Errorf("netserver.rejoins = 0 with %d brownouts: brownout recovery is not using Rejoin", brownouts)
 	}
 }
 

@@ -4,8 +4,10 @@ import (
 	"testing"
 
 	"repro/internal/config"
+	"repro/internal/faults"
 	"repro/internal/lora"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -30,6 +32,38 @@ func paperSetup(protocol config.ProtocolKind, theta float64) config.Scenario {
 	// the 24-h-autonomy sizing of the large-scale study.
 	cfg.BatteryCapacityJ = 5300
 	return cfg
+}
+
+// TestTestbedBrownoutRejoinsNeverReregisters is the testbed twin of
+// the simulator's TestSimBrownoutRejoinsNeverReregisters: a node
+// restarting after a brownout must be re-admitted through Rejoin
+// (history and dedup watermarks preserved), never through Register
+// (battery-replacement semantics — watermark and history reset, see
+// netserver.Register). The Gateway deliberately exposes no Register
+// method; this pins the contract with counters so a future "helpful"
+// re-registration path cannot slip in unnoticed.
+func TestTestbedBrownoutRejoinsNeverReregisters(t *testing.T) {
+	cfg := paperSetup(config.ProtocolBLA, 1)
+	cfg.Faults = faults.Config{BrownoutMTBF: 4 * simtime.Hour}
+	rec := obs.New(obs.Manifest{Tool: "test"}, 0)
+	res, err := RunObserved(cfg, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var brownouts int64
+	for _, n := range res.Nodes {
+		brownouts += n.Stats.Brownouts
+	}
+	if brownouts == 0 {
+		t.Fatal("4h MTBF over 24h x 10 nodes produced no brownouts; assertion would be vacuous")
+	}
+	if registers := rec.Counter("netserver.registers").Value(); registers != int64(cfg.Nodes) {
+		t.Errorf("netserver.registers = %d, want exactly one per node (%d): a live node was re-registered",
+			registers, cfg.Nodes)
+	}
+	if rejoins := rec.Counter("netserver.rejoins").Value(); rejoins != brownouts {
+		t.Errorf("netserver.rejoins = %d, want one per brownout (%d)", rejoins, brownouts)
+	}
 }
 
 func TestRunRejectsInvalid(t *testing.T) {
