@@ -61,10 +61,14 @@ profile: build
 
 # Daemon end-to-end smoke: generate a golden obs export with the
 # simulator, replay it through the in-process library path, then through
-# a live lnsd over HTTP, and diff the disseminated w_u tables — they
-# must be byte-identical. A second pass replays half the stream,
-# snapshots, restarts lnsd from the snapshot, resumes, and diffs again:
-# snapshot/restore must be invisible in the output.
+# a live lnsd over HTTP — once single-lane and once with 4 shards fed by
+# 4 concurrent loadgen connections — and diff the disseminated w_u
+# tables AND the snapshots: all must be byte-identical. A further pass
+# replays half the stream, snapshots, restarts lnsd from the snapshot,
+# resumes, and diffs the wu table again: snapshot/restore must be
+# invisible in the output. (The resume leg diffs wu only — its snapshot
+# legitimately records a different first-recompute slot because its
+# barrier history differs from an uninterrupted run.)
 LNSTMP := $(shell mktemp -d /tmp/lns-smoke.XXXXXX)
 LNSADDR ?= 127.0.0.1:18080
 
@@ -73,12 +77,20 @@ lns-smoke: build
 		-obs -obs-dir $(LNSTMP)/obs > /dev/null
 	$(GO) build -o $(LNSTMP)/lnsd ./cmd/lnsd
 	$(GO) build -o $(LNSTMP)/loadgen ./cmd/loadgen
-	$(LNSTMP)/loadgen -in $(LNSTMP)/obs/faults_s00_r00.jsonl -local -wu-out $(LNSTMP)/wu-lib.json
+	$(LNSTMP)/loadgen -in $(LNSTMP)/obs/faults_s00_r00.jsonl -local \
+		-wu-out $(LNSTMP)/wu-lib.json -snapshot-out $(LNSTMP)/snap-lib.json
 	$(LNSTMP)/lnsd -addr $(LNSADDR) & echo $$! > $(LNSTMP)/pid; \
 		$(LNSTMP)/loadgen -in $(LNSTMP)/obs/faults_s00_r00.jsonl -addr http://$(LNSADDR) \
-			-wu-out $(LNSTMP)/wu-http.json -v; \
+			-wu-out $(LNSTMP)/wu-http.json -snapshot-out $(LNSTMP)/snap-http.json -v; \
 		kill `cat $(LNSTMP)/pid`
 	diff $(LNSTMP)/wu-lib.json $(LNSTMP)/wu-http.json
+	diff $(LNSTMP)/snap-lib.json $(LNSTMP)/snap-http.json
+	$(LNSTMP)/lnsd -addr $(LNSADDR) -lns-shards 4 & echo $$! > $(LNSTMP)/pid; \
+		$(LNSTMP)/loadgen -in $(LNSTMP)/obs/faults_s00_r00.jsonl -addr http://$(LNSADDR) \
+			-conns 4 -wu-out $(LNSTMP)/wu-s4.json -snapshot-out $(LNSTMP)/snap-s4.json; \
+		kill `cat $(LNSTMP)/pid`
+	diff $(LNSTMP)/wu-lib.json $(LNSTMP)/wu-s4.json
+	diff $(LNSTMP)/snap-lib.json $(LNSTMP)/snap-s4.json
 	$(LNSTMP)/lnsd -addr $(LNSADDR) & echo $$! > $(LNSTMP)/pid; \
 		$(LNSTMP)/loadgen -in $(LNSTMP)/obs/faults_s00_r00.jsonl -addr http://$(LNSADDR) \
 			-stop-frac 0.5 -snapshot-out $(LNSTMP)/snap.json; \
@@ -89,7 +101,7 @@ lns-smoke: build
 		kill `cat $(LNSTMP)/pid`
 	diff $(LNSTMP)/wu-lib.json $(LNSTMP)/wu-resume.json
 	rm -rf $(LNSTMP)
-	@echo "lns-smoke: daemon replay and snapshot/restore resume byte-identical to library path"
+	@echo "lns-smoke: sharded and single-lane daemon replay byte-identical to library path (wu + snapshot); snapshot/restore resume byte-identical (wu)"
 
 clean:
 	rm -f BENCH_*.json

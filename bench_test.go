@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"repro/internal/battery"
@@ -471,6 +472,165 @@ func BenchmarkLNSIngest(b *testing.B) {
 	b.ReportMetric(float64(uplinks*b.N)/b.Elapsed().Seconds(), "ingest-msgs/s")
 	if recomputes > 0 {
 		b.ReportMetric(float64(recomputeNs)/1e6/float64(recomputes), "recompute-ms")
+	}
+}
+
+// lnsFleetTrace builds the million-node replay workload for
+// BenchmarkLNSIngestSharded: a sparse 3-hourly sawtooth (8 transitions
+// per node per day → exactly one uplink packet per node), dense node
+// IDs spanning thousands of ShardBlock ranges. Pure arithmetic, no RNG.
+func lnsFleetTrace(nodes int) *lns.Trace {
+	tr := &lns.Trace{SampleEvery: 3 * simtime.Hour}
+	for id := 0; id < nodes; id++ {
+		soc := 0.5 + 0.4*float64(id%9)/9
+		nt := lns.NodeTrace{ID: id, InitialSoC: soc}
+		for k := 0; k < 8; k++ {
+			at := simtime.Time(k+1) * simtime.Time(3*simtime.Hour)
+			if k%2 == 0 {
+				soc -= 0.1
+			} else {
+				soc += 0.08
+			}
+			soc = min(0.95, max(0.2, soc))
+			nt.Transitions = append(nt.Transitions, battery.Transition{At: at, SoC: soc})
+		}
+		tr.Nodes = append(tr.Nodes, nt)
+	}
+	return tr
+}
+
+// BenchmarkLNSIngestSharded is the fleet-scale rung: a million-node
+// single-day replay (one uplink per node, -short shrinks the fleet)
+// through the sharded daemon, with as many concurrent loadgen-style
+// connections as shards, each owning the node-ID ranges lns.ShardOf
+// assigns it. The shards=1 sub-benchmark is the single-lane baseline;
+// ingest-msgs/s across the sub-benchmarks is the shard-scaling
+// headline cmd/benchjson reports (on a multi-core host shards=4 is
+// expected to approach 4x; a GOMAXPROCS=1 runner serializes the lanes
+// and measures only the sharding overhead).
+func BenchmarkLNSIngestSharded(b *testing.B) {
+	nodes := 1_000_000
+	if testing.Short() {
+		nodes = 32_768
+	}
+	tr := lnsFleetTrace(nodes)
+	batches := lns.BuildBatches(tr, 0, 8, 4096)
+	finalAt := lns.LastUplinkAt(batches).Add(simtime.Day)
+	var uplinks int
+	for _, bb := range batches {
+		uplinks += len(bb.Uplinks)
+	}
+
+	mustJSON := func(v any) []byte {
+		data, err := json.Marshal(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return data
+	}
+	reg := lns.RegisterReq{Nodes: make([]lns.RegisterNode, 0, len(tr.Nodes))}
+	for _, nt := range tr.Nodes {
+		reg.Nodes = append(reg.Nodes, lns.RegisterNode{Node: nt.ID, SoC: nt.InitialSoC})
+	}
+	regBody := mustJSON(reg)
+	finalBody := mustJSON(lns.RecomputeReq{AtMs: int64(finalAt)})
+
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			// One connection per shard, batches partitioned by the same
+			// node-ID ranges cmd/loadgen -conns uses; bodies pre-encoded
+			// so the timed loop measures the daemon, not the client.
+			connBatches := make([][]lns.Batch, shards)
+			for _, bb := range batches {
+				per := make([][]lns.Uplink, shards)
+				for _, u := range bb.Uplinks {
+					c := lns.ShardOf(u.Node, shards)
+					per[c] = append(per[c], u)
+				}
+				for c, ups := range per {
+					if len(ups) > 0 {
+						connBatches[c] = append(connBatches[c], lns.Batch{Uplinks: ups})
+					}
+				}
+			}
+			connBodies := make([][][]byte, shards)
+			maxLen := 0
+			for c, part := range connBatches {
+				for _, bb := range part {
+					connBodies[c] = append(connBodies[c], mustJSON(bb))
+				}
+				maxLen = max(maxLen, len(part))
+			}
+
+			var recomputeNs, recomputes int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d, err := lns.NewDaemon(lns.Config{
+					Interval:   simtime.Day,
+					Shards:     shards,
+					QueueDepth: maxLen + 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ts := httptest.NewServer(d.Handler())
+				client := ts.Client()
+				post := func(url string, body []byte) (int, error) {
+					resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+					if err != nil {
+						return 0, err
+					}
+					resp.Body.Close()
+					return resp.StatusCode, nil
+				}
+				if code, err := post(ts.URL+"/v1/register", regBody); err != nil || code != http.StatusOK {
+					b.Fatalf("register: %v status %d", err, code)
+				}
+				errs := make([]error, shards)
+				var wg sync.WaitGroup
+				for c := 0; c < shards; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						for _, body := range connBodies[c] {
+							for {
+								code, err := post(ts.URL+"/v1/uplinks", body)
+								if err != nil {
+									errs[c] = err
+									return
+								}
+								if code == http.StatusAccepted {
+									break
+								}
+								if code != http.StatusTooManyRequests {
+									errs[c] = fmt.Errorf("uplinks: status %d", code)
+									return
+								}
+							}
+						}
+					}(c)
+				}
+				wg.Wait()
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				if code, err := post(ts.URL+"/v1/recompute", finalBody); err != nil || code != http.StatusOK {
+					b.Fatalf("recompute: %v status %d", err, code)
+				}
+				rec := d.Recorder()
+				recomputeNs += rec.Counter("lns.recompute_ns_total").Value()
+				recomputes += rec.Counter("lns.recomputes").Value()
+				ts.Close()
+				d.Close()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(uplinks*b.N)/b.Elapsed().Seconds(), "ingest-msgs/s")
+			if recomputes > 0 {
+				b.ReportMetric(float64(recomputeNs)/1e6/float64(recomputes), "recompute-ms")
+			}
+		})
 	}
 }
 

@@ -88,6 +88,14 @@ type Record struct {
 	// run; the "/s" metric rides the -nsregress throughput gate like
 	// every other rate.
 	LNSIngest map[string]float64 `json:"lns_ingest,omitempty"`
+	// LNSShardScaling collects the ingest-msgs/s of every
+	// BenchmarkLNSIngestSharded/shards=N sub-benchmark present in the run
+	// (keyed "shards=N"), plus "speedup_s4_over_s1" when both the
+	// single-lane baseline and the 4-shard rung ran — the shard-scaling
+	// headline of the fleet-scale ingest path. On a single-core runner
+	// the speedup hovers around 1.0 (the lanes serialize); it only
+	// becomes a scaling claim on a multi-core host.
+	LNSShardScaling map[string]float64 `json:"lns_shard_scaling,omitempty"`
 	// Baseline is the prior record this run was diffed against.
 	Baseline string `json:"baseline,omitempty"`
 	// Regressions flags allocs/op and bytes/op growth beyond the
@@ -140,6 +148,7 @@ func main() {
 	if b := find(rec.Benchmarks, "LNSIngest"); b != nil && len(b.Metrics) > 0 {
 		rec.LNSIngest = b.Metrics
 	}
+	rec.LNSShardScaling = buildShardScaling(rec.Benchmarks)
 
 	path := *out
 	if path == "" {
@@ -363,6 +372,30 @@ func buildScaleLadder(bs []Benchmark) map[string]float64 {
 		}
 	}
 	return ladder
+}
+
+// buildShardScaling extracts ingest-msgs/s from every
+// LNSIngestSharded/shards=N sub-benchmark and, when both endpoints are
+// present, the 4-shard-over-1-shard throughput ratio. Nil when the
+// sharded rung did not run.
+func buildShardScaling(bs []Benchmark) map[string]float64 {
+	var scaling map[string]float64
+	const prefix = "LNSIngestSharded/"
+	for i := range bs {
+		if !strings.HasPrefix(bs[i].Name, prefix) {
+			continue
+		}
+		if v, ok := bs[i].Metrics["ingest-msgs/s"]; ok {
+			if scaling == nil {
+				scaling = make(map[string]float64)
+			}
+			scaling[strings.TrimPrefix(bs[i].Name, prefix)] = v
+		}
+	}
+	if s1, s4 := scaling["shards=1"], scaling["shards=4"]; s1 > 0 && s4 > 0 {
+		scaling["speedup_s4_over_s1"] = s4 / s1
+	}
+	return scaling
 }
 
 func find(bs []Benchmark, name string) *Benchmark {

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	lnsd -addr 127.0.0.1:8080
+//	lnsd -addr 127.0.0.1:8080 -lns-shards 4            # 4 node-ID-range worker lanes
 //	lnsd -addr 127.0.0.1:8080 -restore snap.json      # resume from a snapshot
 //	lnsd -addr 127.0.0.1:8080 -snapshot-exit snap.json # persist on SIGTERM
 //
@@ -45,7 +46,8 @@ func run() error {
 		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
 		tempC      = flag.Float64("temp", 25, "battery temperature in Celsius")
 		interval   = flag.Duration("interval", 24*time.Hour, "w_u recompute interval in simulated time")
-		queue      = flag.Int("queue", 256, "ingest lane depth in batches before 429 backpressure")
+		shards     = flag.Int("lns-shards", 1, "node-ID-range shards (worker lanes); 1 = single-lane determinism oracle")
+		queue      = flag.Int("queue", 256, "per-shard ingest lane depth in batches before 429 backpressure")
 		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint sent with 429")
 		restore    = flag.String("restore", "", "snapshot file to restore state from at boot")
 		snapExit   = flag.String("snapshot-exit", "", "snapshot file to write on graceful shutdown")
@@ -55,6 +57,7 @@ func run() error {
 	d, err := lns.NewDaemon(lns.Config{
 		TempC:      *tempC,
 		Interval:   simtime.FromDuration(*interval),
+		Shards:     *shards,
 		QueueDepth: *queue,
 		RetryAfter: *retryAfter,
 	})
@@ -81,7 +84,7 @@ func run() error {
 	srv := &http.Server{Addr: *addr, Handler: d.Handler()}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("lnsd: listening on %s", *addr)
+		log.Printf("lnsd: listening on %s (%d shard(s))", *addr, *shards)
 		errCh <- srv.ListenAndServe()
 	}()
 
@@ -104,7 +107,11 @@ func run() error {
 	}
 
 	if *snapExit != "" {
-		data, err := json.Marshal(d.SnapshotState())
+		snap, err := d.SnapshotState()
+		if err != nil {
+			return fmt.Errorf("snapshot-exit: %w", err)
+		}
+		data, err := json.Marshal(snap)
 		if err != nil {
 			return fmt.Errorf("snapshot-exit: %w", err)
 		}

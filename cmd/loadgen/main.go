@@ -16,12 +16,16 @@
 //	lnsd -restore snap.json &
 //	loadgen -in run.jsonl -addr ... -start-frac 0.5 -wu-out wu.json
 //
-// Batches POST sequentially (one in flight), so the daemon sees the
-// same deterministic stream order the library path does; a 429 answer
-// backs off for the advertised Retry-After and retries the same batch.
-// With -start-frac > 0 registration is skipped: the nodes are expected
-// to come from a restored snapshot, and re-registering live nodes would
-// reset their history and watermarks (see netserver.Register).
+// With -conns N the replay opens N concurrent connections, each owning
+// the node-ID ranges lns.ShardOf assigns it — a node's uplinks always
+// ride one connection in order, so per-node ordering (the only order
+// the protocol state depends on) survives arbitrary cross-connection
+// interleaving. Within a connection batches POST sequentially (one in
+// flight); a 429 answer backs off for the daemon's advertised
+// Retry-After and retries the same batch. With -start-frac > 0
+// registration is skipped: the nodes are expected to come from a
+// restored snapshot, and re-registering live nodes would reset their
+// history and watermarks (see netserver.Register).
 package main
 
 import (
@@ -33,6 +37,8 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/lns"
@@ -56,6 +62,7 @@ func run() error {
 		perBatch  = flag.Int("batch", 64, "uplinks per ingest batch")
 		startFrac = flag.Float64("start-frac", 0, "resume replay at this fraction of the batch list (skips registration)")
 		stopFrac  = flag.Float64("stop-frac", 1, "stop replay at this fraction of the batch list")
+		conns     = flag.Int("conns", 1, "concurrent connections, partitioned by node-ID range (per-node order preserved)")
 		interval  = flag.Duration("interval", 24*time.Hour, "daemon recompute interval (for the final end-of-trace recompute)")
 		wuOut     = flag.String("wu-out", "", "write the final w_u table (JSON) to this file")
 		snapOut   = flag.String("snapshot-out", "", "write a server snapshot (JSON) to this file after the replay")
@@ -80,8 +87,7 @@ func run() error {
 		return err
 	}
 	batches := lns.BuildBatches(trace, simtime.FromDuration(*window), *perPacket, *perBatch)
-	lo := int(*startFrac * float64(len(batches)))
-	hi := int(*stopFrac * float64(len(batches)))
+	lo, hi := lns.SplitFrac(*startFrac, *stopFrac, len(batches))
 	finalAt := lns.LastUplinkAt(batches).Add(simtime.FromDuration(*interval))
 	if *verbose {
 		var uplinks int
@@ -95,7 +101,7 @@ func run() error {
 	if *local {
 		return runLocal(lns.Config{Interval: simtime.FromDuration(*interval)}, trace, batches, lo, hi, *wuOut, *snapOut, finalAt)
 	}
-	return runHTTP(*addr, trace, batches, lo, hi, *wuOut, *snapOut, finalAt, *waitReady, *verbose)
+	return runHTTP(*addr, trace, batches, lo, hi, *conns, *wuOut, *snapOut, finalAt, *waitReady, *verbose)
 }
 
 // runLocal is the reference path: the same registration, batch, and
@@ -129,7 +135,64 @@ func runLocal(cfg lns.Config, trace *lns.Trace, batches []lns.Batch, lo, hi int,
 	return nil
 }
 
-func runHTTP(addr string, trace *lns.Trace, batches []lns.Batch, lo, hi int, wuOut, snapOut string, finalAt simtime.Time, waitReady time.Duration, verbose bool) error {
+// partitionConns splits the replayed batch range into one batch stream
+// per connection: each batch's uplinks are routed by lns.ShardOf over
+// the connection count (empty sub-batches dropped), so every node's
+// uplinks stay on one connection in their original order. The daemon
+// re-routes by ITS shard count — the two partitions need not match,
+// because any per-node-affine split preserves the per-node sub-stream
+// order the protocol state depends on.
+func partitionConns(batches []lns.Batch, conns int) [][]lns.Batch {
+	if conns <= 1 {
+		return [][]lns.Batch{batches}
+	}
+	parts := make([][]lns.Batch, conns)
+	for _, b := range batches {
+		per := make([][]lns.Uplink, conns)
+		for _, u := range b.Uplinks {
+			c := lns.ShardOf(u.Node, conns)
+			per[c] = append(per[c], u)
+		}
+		for c, ups := range per {
+			if len(ups) > 0 {
+				parts[c] = append(parts[c], lns.Batch{Uplinks: ups})
+			}
+		}
+	}
+	return parts
+}
+
+// postStream posts one connection's batches sequentially, retrying a
+// 429 after the daemon's advertised Retry-After (falling back to
+// retryAfterDelay when the header is absent or unparsable).
+func postStream(client *http.Client, addr string, batches []lns.Batch, uplinks, retries *atomic.Int64) error {
+	for i, b := range batches {
+		for {
+			status, retryAfter, err := postJSON(client, addr+"/v1/uplinks", b, nil)
+			if err != nil {
+				return fmt.Errorf("batch %d: %w", i, err)
+			}
+			if status == http.StatusAccepted {
+				break
+			}
+			if status != http.StatusTooManyRequests {
+				return fmt.Errorf("batch %d: unexpected status %d", i, status)
+			}
+			retries.Add(1)
+			if retryAfter <= 0 {
+				retryAfter = retryAfterDelay
+			}
+			time.Sleep(retryAfter)
+		}
+		uplinks.Add(int64(len(b.Uplinks)))
+	}
+	return nil
+}
+
+func runHTTP(addr string, trace *lns.Trace, batches []lns.Batch, lo, hi, conns int, wuOut, snapOut string, finalAt simtime.Time, waitReady time.Duration, verbose bool) error {
+	if conns < 1 {
+		conns = 1
+	}
 	client := &http.Client{Timeout: 30 * time.Second}
 	if err := awaitReady(client, addr, waitReady); err != nil {
 		return err
@@ -140,39 +203,40 @@ func runHTTP(addr string, trace *lns.Trace, batches []lns.Batch, lo, hi int, wuO
 		for _, nt := range trace.Nodes {
 			req.Nodes = append(req.Nodes, lns.RegisterNode{Node: nt.ID, SoC: nt.InitialSoC})
 		}
-		if _, err := postJSON(client, addr+"/v1/register", req, nil); err != nil {
+		if _, _, err := postJSON(client, addr+"/v1/register", req, nil); err != nil {
 			return fmt.Errorf("register: %w", err)
 		}
 	}
 
 	start := time.Now()
-	var uplinks, retries int
-	for i, b := range batches[lo:hi] {
-		for {
-			status, err := postJSON(client, addr+"/v1/uplinks", b, nil)
-			if err != nil {
-				return fmt.Errorf("batch %d: %w", lo+i, err)
+	var uplinks, retries atomic.Int64
+	parts := partitionConns(batches[lo:hi], conns)
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for c, part := range parts {
+		wg.Add(1)
+		go func(c int, part []lns.Batch) {
+			defer wg.Done()
+			if err := postStream(client, addr, part, &uplinks, &retries); err != nil {
+				errs[c] = fmt.Errorf("conn %d: %w", c, err)
 			}
-			if status == http.StatusAccepted {
-				break
-			}
-			if status != http.StatusTooManyRequests {
-				return fmt.Errorf("batch %d: unexpected status %d", lo+i, status)
-			}
-			retries++
-			time.Sleep(retryAfterDelay)
+		}(c, part)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
-		uplinks += len(b.Uplinks)
 	}
 	if hi == len(batches) {
-		if _, err := postJSON(client, addr+"/v1/recompute", lns.RecomputeReq{AtMs: int64(finalAt)}, nil); err != nil {
+		if _, _, err := postJSON(client, addr+"/v1/recompute", lns.RecomputeReq{AtMs: int64(finalAt)}, nil); err != nil {
 			return fmt.Errorf("final recompute: %w", err)
 		}
 	}
 	if verbose {
 		elapsed := time.Since(start).Seconds()
-		fmt.Fprintf(os.Stderr, "loadgen: %d uplinks in %.2fs (%.0f msgs/s), %d backpressure retries\n",
-			uplinks, elapsed, float64(uplinks)/elapsed, retries)
+		fmt.Fprintf(os.Stderr, "loadgen: %d uplinks over %d conn(s) in %.2fs (%.0f msgs/s), %d backpressure retries\n",
+			uplinks.Load(), conns, elapsed, float64(uplinks.Load())/elapsed, retries.Load())
 	}
 
 	if wuOut != "" {
@@ -188,9 +252,8 @@ func runHTTP(addr string, trace *lns.Trace, batches []lns.Batch, lo, hi int, wuO
 	return nil
 }
 
-// retryAfterDelay is the backoff on 429. The daemon advertises
-// Retry-After in whole seconds; replay tooling prefers a shorter fixed
-// spin so smoke runs do not stall on a briefly full lane.
+// retryAfterDelay is the fallback backoff on a 429 that carries no
+// parsable Retry-After header.
 var retryAfterDelay = 100 * time.Millisecond
 
 func awaitReady(client *http.Client, addr string, patience time.Duration) error {
@@ -210,27 +273,36 @@ func awaitReady(client *http.Client, addr string, patience time.Duration) error 
 	}
 }
 
-func postJSON(client *http.Client, url string, body any, out any) (int, error) {
+// postJSON posts a JSON body and returns the status plus the parsed
+// Retry-After header (0 when absent): a 429's advertised backoff is
+// part of the backpressure contract, not advisory decoration.
+func postJSON(client *http.Client, url string, body any, out any) (int, time.Duration, error) {
 	data, err := json.Marshal(body)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer resp.Body.Close()
+	var retryAfter time.Duration
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
 	if out != nil && resp.StatusCode/100 == 2 {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return resp.StatusCode, err
+			return resp.StatusCode, retryAfter, err
 		}
-		return resp.StatusCode, nil
+		return resp.StatusCode, retryAfter, nil
 	}
 	io.Copy(io.Discard, resp.Body)
 	if resp.StatusCode/100 != 2 && resp.StatusCode != http.StatusTooManyRequests {
-		return resp.StatusCode, fmt.Errorf("status %s", strconv.Itoa(resp.StatusCode))
+		return resp.StatusCode, retryAfter, fmt.Errorf("status %s", strconv.Itoa(resp.StatusCode))
 	}
-	return resp.StatusCode, nil
+	return resp.StatusCode, retryAfter, nil
 }
 
 func getToFile(client *http.Client, url, path string) error {

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/lns"
+)
+
+// TestPartitionConnsPreservesPerNodeOrder: splitting the replay across
+// connections must keep every node's uplinks on exactly one connection
+// in their original relative order (the only ordering the server state
+// depends on), and must not invent or drop uplinks.
+func TestPartitionConnsPreservesPerNodeOrder(t *testing.T) {
+	nodes := []int{0, 3, lns.ShardBlock, 2*lns.ShardBlock + 5, 7 * lns.ShardBlock}
+	var batches []lns.Batch
+	total := 0
+	for step := 0; step < 6; step++ {
+		var ups []lns.Uplink
+		for _, n := range nodes {
+			ups = append(ups, lns.Uplink{Node: n, AtMs: int64(step*1000 + n)})
+			total++
+		}
+		batches = append(batches, lns.Batch{Uplinks: ups})
+	}
+
+	for _, conns := range []int{1, 2, 3, 4, 8} {
+		parts := partitionConns(batches, conns)
+		if len(parts) != max(1, conns) {
+			t.Fatalf("conns=%d: %d parts", conns, len(parts))
+		}
+		seen := 0
+		owner := map[int]int{}
+		perNode := map[int][]int64{}
+		for c, part := range parts {
+			for _, b := range part {
+				if len(b.Uplinks) == 0 {
+					t.Fatalf("conns=%d: empty sub-batch on conn %d", conns, c)
+				}
+				for _, u := range b.Uplinks {
+					seen++
+					if prev, ok := owner[u.Node]; ok && prev != c {
+						t.Fatalf("conns=%d: node %d rides conns %d and %d", conns, u.Node, prev, c)
+					}
+					owner[u.Node] = c
+					if want := lns.ShardOf(u.Node, conns); c != want {
+						t.Fatalf("conns=%d: node %d on conn %d, want %d", conns, u.Node, c, want)
+					}
+					perNode[u.Node] = append(perNode[u.Node], u.AtMs)
+				}
+			}
+		}
+		if seen != total {
+			t.Fatalf("conns=%d: partitioned %d uplinks, want %d", conns, seen, total)
+		}
+		for n, ats := range perNode {
+			for i := 1; i < len(ats); i++ {
+				if ats[i] <= ats[i-1] {
+					t.Fatalf("conns=%d: node %d order broken: %v", conns, n, ats)
+				}
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/battery"
 	"repro/internal/netserver"
@@ -40,6 +41,47 @@ func synthTrace(nodes, days int, seed uint64) *Trace {
 		tr.Nodes = append(tr.Nodes, nt)
 	}
 	return tr
+}
+
+// spreadTrace stretches a trace's node IDs by stride so the fleet
+// spans several ShardBlock ranges — dense test IDs 0..n would all land
+// in shard 0 and make every multi-shard assertion vacuous.
+func spreadTrace(tr *Trace, stride int) *Trace {
+	out := &Trace{SampleEvery: tr.SampleEvery}
+	for _, nt := range tr.Nodes {
+		nt.ID *= stride
+		out.Nodes = append(out.Nodes, nt)
+	}
+	return out
+}
+
+// snapBytesLib renders a server snapshot exactly as GET /v1/snapshot
+// does (Encoder: one JSON object, trailing newline).
+func snapBytesLib(t *testing.T, srv *netserver.Server) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(srv.Snapshot()); err != nil {
+		t.Fatalf("encode snapshot: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// getBytes fetches a daemon endpoint's raw body.
+func getBytes(t *testing.T, ts *httptest.Server, path string) []byte {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return buf.Bytes()
 }
 
 // wuBytes renders a w_u table with the canonical writer.
@@ -177,14 +219,17 @@ func perturb(batches []Batch, rng *rand.Rand) []Batch {
 	return out
 }
 
-// TestHTTPIngestIdempotence is the property-style satellite test:
+// TestHTTPIngestIdempotence is the shards × shuffle property test:
 // shuffled + duplicated + arbitrarily re-batched report streams driven
-// through the HTTP path must leave a w_u table byte-identical to direct
-// library Ingest calls fed the same stream. Additionally, a
+// through the HTTP path must leave a w_u table AND a snapshot
+// byte-identical to direct library Ingest calls fed the same stream —
+// at every shard count. The node IDs span several ShardBlock ranges,
+// so multi-shard runs genuinely split the fleet and the perturbation's
+// global shuffle genuinely interleaves the lanes. Additionally, a
 // duplicates-only stream (order preserved) must match the clean run
 // exactly — duplicates are invisible.
 func TestHTTPIngestIdempotence(t *testing.T) {
-	tr := synthTrace(5, 4, 2)
+	tr := spreadTrace(synthTrace(5, 4, 2), ShardBlock+1)
 	clean := BuildBatches(tr, 0, 6, 16)
 	cfg := Config{}
 	interval := cfg.withDefaults().Interval
@@ -195,28 +240,35 @@ func TestHTTPIngestIdempotence(t *testing.T) {
 	}
 	cleanWant := wuBytes(t, cleanLib.WuTable())
 
-	for trial := 0; trial < 6; trial++ {
-		rng := rand.New(rand.NewPCG(11, uint64(trial)))
-		stream := perturb(clean, rng)
+	for _, shards := range []int{1, 2, 4, 8} {
+		for trial := 0; trial < 3; trial++ {
+			rng := rand.New(rand.NewPCG(11, uint64(100*shards+trial)))
+			stream := perturb(clean, rng)
 
-		lib, err := ReplayLocal(cfg, tr, stream)
-		if err != nil {
-			t.Fatalf("trial %d: ReplayLocal: %v", trial, err)
-		}
-		want := wuBytes(t, lib.WuTable())
+			lib, err := ReplayLocal(cfg, tr, stream)
+			if err != nil {
+				t.Fatalf("shards=%d trial %d: ReplayLocal: %v", shards, trial, err)
+			}
+			want := wuBytes(t, lib.WuTable())
+			wantSnap := snapBytesLib(t, lib)
 
-		d, err := NewDaemon(cfg)
-		if err != nil {
-			t.Fatalf("trial %d: NewDaemon: %v", trial, err)
-		}
-		ts := httptest.NewServer(d.Handler())
-		got := driveHTTP(t, ts, tr, stream, true, interval)
-		ts.Close()
-		d.Close()
+			d, err := NewDaemon(Config{Shards: shards})
+			if err != nil {
+				t.Fatalf("shards=%d trial %d: NewDaemon: %v", shards, trial, err)
+			}
+			ts := httptest.NewServer(d.Handler())
+			got := driveHTTP(t, ts, tr, stream, true, interval)
+			gotSnap := getBytes(t, ts, "/v1/snapshot")
+			ts.Close()
+			d.Close()
 
-		if !bytes.Equal(got, want) {
-			t.Fatalf("trial %d: HTTP path diverged from library path on perturbed stream:\nhttp %s\nlib  %s",
-				trial, got, want)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("shards=%d trial %d: HTTP path w_u diverged from library path on perturbed stream:\nhttp %s\nlib  %s",
+					shards, trial, got, want)
+			}
+			if !bytes.Equal(gotSnap, wantSnap) {
+				t.Fatalf("shards=%d trial %d: HTTP snapshot diverged from library path", shards, trial)
+			}
 		}
 	}
 
@@ -229,7 +281,7 @@ func TestHTTPIngestIdempotence(t *testing.T) {
 		}
 		dupOnly = append(dupOnly, Batch{Uplinks: ups})
 	}
-	d, err := NewDaemon(cfg)
+	d, err := NewDaemon(Config{Shards: 4})
 	if err != nil {
 		t.Fatalf("NewDaemon: %v", err)
 	}
@@ -309,6 +361,254 @@ func TestSnapshotRestoreOverHTTP(t *testing.T) {
 
 	if !bytes.Equal(got, want) {
 		t.Fatalf("snapshot/restore run diverged from uninterrupted run:\nresumed %s\nfull    %s", got, want)
+	}
+}
+
+// postBatches posts batches in order without any recompute, spinning on
+// backpressure.
+func postBatches(t *testing.T, ts *httptest.Server, batches []Batch) {
+	t.Helper()
+	for i, b := range batches {
+		for {
+			data, _ := json.Marshal(b)
+			resp, err := ts.Client().Post(ts.URL+"/v1/uplinks", "application/json", bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("batch %d: %v", i, err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusAccepted {
+				break
+			}
+			if resp.StatusCode != http.StatusTooManyRequests {
+				t.Fatalf("batch %d: status %d", i, resp.StatusCode)
+			}
+		}
+	}
+}
+
+// TestShardedSnapshotRestoreAcrossShardCounts drives the full sharded
+// state lifecycle: a mid-stream snapshot from an s-shard daemon must be
+// byte-identical to the library path stopped at the same batch, AND
+// restorable into a daemon with a DIFFERENT shard count (the snapshot
+// wire format is shard-count-free; routing happens at restore). The
+// resumed run must land exactly on the reference final state.
+func TestShardedSnapshotRestoreAcrossShardCounts(t *testing.T) {
+	// Stride 97 mixes several nodes per ShardBlock while still crossing
+	// block boundaries — with 8 shards some shards stay empty, which the
+	// merge path must also survive.
+	tr := spreadTrace(synthTrace(6, 5, 9), 97)
+	batches := BuildBatches(tr, 0, 8, 8)
+	cfg := Config{}
+	interval := cfg.withDefaults().Interval
+	cut := len(batches) / 2
+	finalAt := LastUplinkAt(batches).Add(interval)
+
+	// Reference: prefix with a mid-stream barrier (what GET /v1/snapshot
+	// performs), then the rest and the final barrier on the same server.
+	libMid, err := ReplayLocalRange(cfg, tr, batches[:cut], false, 0)
+	if err != nil {
+		t.Fatalf("ReplayLocalRange: %v", err)
+	}
+	wantMidSnap := snapBytesLib(t, libMid)
+	for _, b := range batches[cut:] {
+		ReplayBatch(libMid, b)
+	}
+	RecomputeBarrier(libMid, finalAt)
+	wantWu := wuBytes(t, libMid.WuTable())
+	wantSnap := snapBytesLib(t, libMid)
+
+	// The mid-stream barrier must be invisible in the final w_u table:
+	// a straight-through replay agrees.
+	straight, err := ReplayLocal(cfg, tr, batches)
+	if err != nil {
+		t.Fatalf("ReplayLocal: %v", err)
+	}
+	if !bytes.Equal(wuBytes(t, straight.WuTable()), wantWu) {
+		t.Fatal("test premise broken: mid-stream barrier changed the final w_u table")
+	}
+
+	shardCounts := []int{1, 2, 4, 8}
+	for i, shards := range shardCounts {
+		resumeShards := shardCounts[(i+1)%len(shardCounts)]
+
+		d1, err := NewDaemon(Config{Shards: shards})
+		if err != nil {
+			t.Fatalf("NewDaemon: %v", err)
+		}
+		ts1 := httptest.NewServer(d1.Handler())
+		req := RegisterReq{}
+		for _, nt := range tr.Nodes {
+			req.Nodes = append(req.Nodes, RegisterNode{Node: nt.ID, SoC: nt.InitialSoC})
+		}
+		data, _ := json.Marshal(req)
+		resp, err := ts1.Client().Post(ts1.URL+"/v1/register", "application/json", bytes.NewReader(data))
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("register: %v status %v", err, resp.StatusCode)
+		}
+		resp.Body.Close()
+		postBatches(t, ts1, batches[:cut])
+		midSnap := getBytes(t, ts1, "/v1/snapshot")
+		ts1.Close()
+		d1.Close()
+
+		if !bytes.Equal(midSnap, wantMidSnap) {
+			t.Fatalf("shards=%d: mid-stream snapshot diverged from library path", shards)
+		}
+
+		d2, err := NewDaemon(Config{Shards: resumeShards})
+		if err != nil {
+			t.Fatalf("NewDaemon: %v", err)
+		}
+		ts2 := httptest.NewServer(d2.Handler())
+		resp, err = ts2.Client().Post(ts2.URL+"/v1/restore", "application/json", bytes.NewReader(midSnap))
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("restore into shards=%d: %v status %v", resumeShards, err, resp.StatusCode)
+		}
+		resp.Body.Close()
+		gotWu := driveHTTP(t, ts2, tr, batches[cut:], false, interval)
+		gotSnap := getBytes(t, ts2, "/v1/snapshot")
+		ts2.Close()
+		d2.Close()
+
+		if !bytes.Equal(gotWu, wantWu) {
+			t.Fatalf("snapshot at shards=%d resumed at shards=%d: final w_u diverged:\ngot  %s\nwant %s",
+				shards, resumeShards, gotWu, wantWu)
+		}
+		if !bytes.Equal(gotSnap, wantSnap) {
+			t.Fatalf("snapshot at shards=%d resumed at shards=%d: final snapshot diverged", shards, resumeShards)
+		}
+	}
+}
+
+// TestShardRouting pins the node→lane map end to end: uplinks for nodes
+// in distinct ShardBlock ranges land on distinct shard workers, visible
+// through the per-shard uplink counters.
+func TestShardRouting(t *testing.T) {
+	d, err := NewDaemon(Config{Shards: 4})
+	if err != nil {
+		t.Fatalf("NewDaemon: %v", err)
+	}
+	defer d.Close()
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+
+	nodes := []int{0, ShardBlock, 2 * ShardBlock, 3 * ShardBlock}
+	var regs []RegisterNode
+	for _, n := range nodes {
+		regs = append(regs, RegisterNode{Node: n, SoC: 0.9})
+	}
+	d.RegisterAll(regs)
+
+	var ups []Uplink
+	for _, n := range nodes {
+		ups = append(ups, Uplink{Node: n, AtMs: int64(simtime.Hour), WindowMs: int64(simtime.Minute)})
+	}
+	// A second uplink for shard 0's node: counters must tell 2/1/1/1 apart.
+	ups = append(ups, Uplink{Node: 0, AtMs: int64(2 * simtime.Hour), WindowMs: int64(simtime.Minute)})
+	postBatches(t, ts, []Batch{{Uplinks: ups}})
+	d.WuTable() // barrier: every lane drained
+
+	wantPerShard := []int64{2, 1, 1, 1}
+	for i, want := range wantPerShard {
+		name := fmt.Sprintf("lns.shard%d.uplinks_applied", i)
+		if got := d.Recorder().Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := d.Recorder().Counter("lns.uplinks_applied").Value(); got != 5 {
+		t.Errorf("lns.uplinks_applied = %d, want 5", got)
+	}
+}
+
+// TestRetryAfterSeconds: the header must round UP to whole seconds —
+// advertising a shorter wait than configured invites clients back
+// before the lane can drain.
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{1500 * time.Millisecond, 2}, // the truncation bug advertised 1
+		{time.Second, 1},
+		{999 * time.Millisecond, 1},
+		{time.Millisecond, 1},
+		{2 * time.Second, 2},
+		{2100 * time.Millisecond, 3},
+		{0, 1},
+		{-time.Second, 1},
+	}
+	for _, tc := range cases {
+		if got := retryAfterSeconds(tc.d); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+
+	// End to end: a daemon configured with a non-integral hint
+	// advertises the rounded-UP value on a real 429.
+	d, err := NewDaemon(Config{QueueDepth: 1, RetryAfter: 1500 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("NewDaemon: %v", err)
+	}
+	defer d.Close()
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+	d.RegisterAll([]RegisterNode{{Node: 0, SoC: 0.9}})
+
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	go d.do(func() { close(started); <-gate })
+	defer close(gate)
+	<-started
+
+	b := Batch{Uplinks: []Uplink{{Node: 0, AtMs: int64(simtime.Hour), WindowMs: int64(simtime.Minute)}}}
+	data, _ := json.Marshal(b)
+	for i := 0; i < 5; i++ {
+		resp, err := ts.Client().Post(ts.URL+"/v1/uplinks", "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if ra := resp.Header.Get("Retry-After"); ra != "2" {
+				t.Errorf("Retry-After = %q, want \"2\" (1500ms rounds up)", ra)
+			}
+			return
+		}
+	}
+	t.Fatal("never saw 429 with a stalled worker and QueueDepth=1")
+}
+
+// TestEmptyBatchAccounting: an empty POST /v1/uplinks is acknowledged
+// but must not enqueue work or touch the ingest metrics — batches_applied
+// and ingest_ns_total mean "batches that carried uplinks".
+func TestEmptyBatchAccounting(t *testing.T) {
+	d, err := NewDaemon(Config{})
+	if err != nil {
+		t.Fatalf("NewDaemon: %v", err)
+	}
+	defer d.Close()
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+
+	for _, body := range []string{`{"uplinks":[]}`, `{}`} {
+		resp, err := ts.Client().Post(ts.URL+"/v1/uplinks", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", body, err)
+		}
+		var out IngestResp
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted || out.Queued != 0 {
+			t.Errorf("empty batch %s: status %d queued %d, want 202/0", body, resp.StatusCode, out.Queued)
+		}
+	}
+	d.WuTable() // drain: any wrongly enqueued job would be applied now
+	for _, name := range []string{"lns.batches_applied", "lns.ingest_ns_total", "lns.uplinks_applied"} {
+		if v := d.Recorder().Counter(name).Value(); v != 0 {
+			t.Errorf("%s = %d after empty batches, want 0", name, v)
+		}
 	}
 }
 

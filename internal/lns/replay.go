@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"time"
 
 	"repro/internal/battery"
 	"repro/internal/netserver"
@@ -70,7 +69,7 @@ func ParseObsJSONL(r io.Reader) (*Trace, error) {
 		case "sample":
 			nt, ok := byNode[l.Node]
 			if !ok {
-				nt = &NodeTrace{ID: l.Node, InitialSoC: l.SoC}
+				nt = &NodeTrace{ID: l.Node}
 				byNode[l.Node] = nt
 			}
 			nt.Transitions = append(nt.Transitions, battery.Transition{
@@ -92,6 +91,11 @@ func ParseObsJSONL(r io.Reader) (*Trace, error) {
 		sort.SliceStable(nt.Transitions, func(i, j int) bool {
 			return nt.Transitions[i].At < nt.Transitions[j].At
 		})
+		// The registration SoC is the node's earliest sample in TIME
+		// order, which the exporter usually also writes first — but a
+		// shuffled or multi-writer export must not register nodes with
+		// whatever sample happened to appear first in the file.
+		nt.InitialSoC = nt.Transitions[0].SoC
 		tr.Nodes = append(tr.Nodes, *nt)
 	}
 	if len(tr.Nodes) == 0 {
@@ -170,18 +174,21 @@ func RegisterTrace(s *netserver.Server, tr *Trace) {
 }
 
 // ReplayBatch folds one batch into the server: each uplink's reports
-// are decoded and ingested, then the recompute clock advances to the
-// uplink's reception instant (the daemon runs on virtual time, so daily
-// recomputes fire as the replayed traffic crosses day boundaries). This
-// is THE apply path — the daemon's worker and every in-process
-// reference computation call it, which is what makes the two
-// byte-identical by construction.
+// are decoded and ingested, and its reception instant advances the
+// virtual clock. This is THE apply path — every shard worker of the
+// daemon and the in-process reference computation call it, which is
+// what makes the two byte-identical by construction.
 //
-// onRecompute, when non-nil, receives the wall-clock latency of each
-// recompute that actually ran (the daemon's recompute-latency metric);
-// nil skips the timing entirely, keeping reference replays free of
-// wall-clock reads.
-func ReplayBatch(s *netserver.Server, b Batch, onRecompute func(wall time.Duration)) {
+// Deliberately NO recompute happens here. Per-node tracker and
+// watermark state depends only on that node's own sub-stream, and the
+// clock is a running maximum — both are invariant under any
+// interleaving of different nodes' traffic. A mid-stream recompute
+// keyed to "which uplink crossed the day boundary" would not be: it
+// bakes the arrival order of the whole stream into the disseminated
+// w_u. Recomputes instead run only at barriers (RecomputeBarrier /
+// the daemon's control ops), where every shard agrees on the grid
+// slot derived from the merged clock.
+func ReplayBatch(s *netserver.Server, b Batch) {
 	var scratch []battery.Report
 	for _, u := range b.Uplinks {
 		scratch = scratch[:0]
@@ -190,19 +197,32 @@ func ReplayBatch(s *netserver.Server, b Batch, onRecompute func(wall time.Durati
 		}
 		at := simtime.Time(u.AtMs)
 		s.Ingest(u.Node, scratch, at, simtime.Duration(u.WindowMs))
-		if onRecompute == nil {
-			s.RecomputeIfDue(at)
-			continue
-		}
-		start := time.Now()
-		if s.RecomputeIfDue(at) {
-			onRecompute(time.Since(start))
-		}
+		s.AdvanceClock(at)
 	}
 }
 
+// NoAdvance is the RecomputeBarrier sentinel for "fold no extra
+// instant into the clock" — barrier at whatever the traffic reached.
+const NoAdvance = simtime.Time(-1)
+
+// RecomputeBarrier runs one deterministic recompute on a quiesced
+// server: optionally folds `advance` into the virtual clock
+// (NoAdvance skips), evaluates every node's degradation at the
+// resulting grid slot, and refreshes the disseminated w_u table
+// against the fleet maximum. It is the 1-server form of the daemon's
+// cross-shard barrier and reports whether the degradation pass ran
+// (false when nothing changed since a barrier at the same slot).
+func RecomputeBarrier(s *netserver.Server, advance simtime.Time) bool {
+	if advance >= 0 {
+		s.AdvanceClock(advance)
+	}
+	dmax, ran := s.RecomputeDegrAt(s.GridInstant())
+	s.ApplyWu(dmax)
+	return ran
+}
+
 // LastUplinkAt returns the latest uplink reception instant across the
-// batches (0 when empty). Replays recompute once more at this instant
+// batches (0 when empty). Replays barrier once more at this instant
 // plus the dissemination interval, so the final day of traffic is
 // covered by a recompute in both the daemon and reference paths.
 func LastUplinkAt(batches []Batch) simtime.Time {
@@ -219,18 +239,19 @@ func LastUplinkAt(batches []Batch) simtime.Time {
 
 // ReplayLocal runs the complete in-process reference computation: a
 // fresh server, trace registration, every batch through ReplayBatch,
-// and the final recompute — the library path the daemon is diffed
-// against.
+// and the final barrier recompute — the library path the daemon is
+// diffed against.
 func ReplayLocal(cfg Config, tr *Trace, batches []Batch) (*netserver.Server, error) {
 	cfg = cfg.withDefaults()
 	return ReplayLocalRange(cfg, tr, batches, true, LastUplinkAt(batches).Add(cfg.Interval))
 }
 
 // ReplayLocalRange is ReplayLocal for a batch prefix: it registers the
-// trace and applies the given batches, issuing the end-of-stream
-// recompute at finalAt only when final is set. Partial replays (loadgen
-// -stop-frac) use it to produce mid-stream snapshots whose state has
-// seen no recompute beyond what the traffic itself triggered.
+// trace, applies the given batches, and runs a barrier recompute —
+// folding finalAt into the clock only when final is set. Partial
+// replays (loadgen -stop-frac) use final=false, matching the barrier
+// any daemon snapshot/wu read performs mid-stream: the grid slot is
+// whatever the replayed traffic itself reached.
 func ReplayLocalRange(cfg Config, tr *Trace, batches []Batch, final bool, finalAt simtime.Time) (*netserver.Server, error) {
 	cfg = cfg.withDefaults()
 	s, err := netserver.New(cfg.Model, cfg.TempC, cfg.Interval)
@@ -239,10 +260,12 @@ func ReplayLocalRange(cfg Config, tr *Trace, batches []Batch, final bool, finalA
 	}
 	RegisterTrace(s, tr)
 	for _, b := range batches {
-		ReplayBatch(s, b, nil)
+		ReplayBatch(s, b)
 	}
+	advance := NoAdvance
 	if final {
-		s.RecomputeIfDue(finalAt)
+		advance = finalAt
 	}
+	RecomputeBarrier(s, advance)
 	return s, nil
 }

@@ -1,6 +1,7 @@
 package lns
 
 import (
+	"math/rand/v2"
 	"reflect"
 	"strings"
 	"testing"
@@ -41,6 +42,49 @@ func TestParseObsJSONL(t *testing.T) {
 			t.Fatalf("node 0 transitions not strictly ascending: %v after %v", x.At, prev)
 		}
 		prev = x.At
+	}
+}
+
+// TestParseObsJSONLShuffledLines is the InitialSoC regression test: an
+// export whose sample lines arrive out of time order (multi-writer
+// exporters, log shippers, or a plain shuffle) must parse to the SAME
+// trace as the time-ordered file. The old code captured InitialSoC from
+// the first sample in FILE order while sorting transitions by time, so
+// a shuffled export registered nodes with a mid-life SoC — and the
+// whole downstream degradation reconstruction started from the wrong
+// anchor.
+func TestParseObsJSONLShuffledLines(t *testing.T) {
+	want, err := ParseObsJSONL(strings.NewReader(sampleJSONL))
+	if err != nil {
+		t.Fatalf("ParseObsJSONL: %v", err)
+	}
+
+	lines := strings.Split(strings.TrimRight(sampleJSONL, "\n"), "\n")
+	rng := rand.New(rand.NewPCG(3, 5))
+	for trial := 0; trial < 8; trial++ {
+		rng.Shuffle(len(lines), func(i, j int) { lines[i], lines[j] = lines[j], lines[i] })
+		got, err := ParseObsJSONL(strings.NewReader(strings.Join(lines, "\n") + "\n"))
+		if err != nil {
+			t.Fatalf("trial %d: ParseObsJSONL: %v", trial, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: shuffled export parsed differently:\ngot  %+v\nwant %+v", trial, got, want)
+		}
+	}
+
+	// The targeted case: node 0's newest sample first in the file. Its
+	// registration SoC must still be the time-earliest sample (0.9).
+	reversed := `{"t":"manifest","sample_every_ms":600000}
+{"t":"sample","node":0,"at_ms":1200000,"soc":0.8}
+{"t":"sample","node":0,"at_ms":600000,"soc":0.85}
+{"t":"sample","node":0,"at_ms":0,"soc":0.9}
+`
+	tr, err := ParseObsJSONL(strings.NewReader(reversed))
+	if err != nil {
+		t.Fatalf("ParseObsJSONL: %v", err)
+	}
+	if tr.Nodes[0].InitialSoC != 0.9 {
+		t.Errorf("InitialSoC = %v, want time-earliest 0.9 (got the file-order sample)", tr.Nodes[0].InitialSoC)
 	}
 }
 

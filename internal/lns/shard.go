@@ -1,0 +1,53 @@
+package lns
+
+// Node-ID-range sharding. The daemon partitions the fleet into
+// contiguous blocks of ShardBlock node IDs dealt round-robin across
+// shards: block b goes to shard b mod N. Contiguous blocks keep a
+// deployment's natural ID locality (a site's nodes land together, so
+// their uplinks share a lane and batch splits stay chunky), while the
+// round-robin deal keeps dense ID ranges from piling onto one shard.
+//
+// The mapping is pure and stateless on purpose: the HTTP ingest path,
+// RegisterAll, snapshot split/merge, and cmd/loadgen's connection
+// partitioning all derive it independently and must agree.
+
+// ShardBlock is the contiguous node-ID block size of the shard map.
+const ShardBlock = 256
+
+// ShardOf maps a node ID to its shard in an N-shard daemon. Negative
+// IDs (rejected downstream by Register/Ingest) and shards < 2 map to
+// shard 0.
+func ShardOf(node, shards int) int {
+	if shards < 2 || node < 0 {
+		return 0
+	}
+	return (node / ShardBlock) % shards
+}
+
+// SplitFrac maps the [startFrac, stopFrac) fraction pair onto index
+// bounds [lo, hi) over n batches. Both bounds use the same floor
+// rounding, so a replay stopped at `-stop-frac f` and resumed at
+// `-start-frac f` covers every batch exactly once for ANY f and n —
+// the boundary batch belongs to exactly one side. Fractions clamp to
+// [0, 1] (NaN reads as 0), and an inverted pair yields an empty range
+// rather than a negative one.
+func SplitFrac(startFrac, stopFrac float64, n int) (lo, hi int) {
+	cut := func(f float64) int {
+		if !(f > 0) { // negatives and NaN
+			return 0
+		}
+		if f >= 1 {
+			return n
+		}
+		i := int(f * float64(n))
+		if i > n { // float rounding at the top edge
+			i = n
+		}
+		return i
+	}
+	lo, hi = cut(startFrac), cut(stopFrac)
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}

@@ -1,17 +1,21 @@
 // Package lns stands the network server (internal/netserver) up as a
-// deployable LNS-style daemon: HTTP(+JSON) uplink ingest with bounded
-// queues and explicit backpressure, batched w_u recomputation on the
-// virtual clock carried by the traffic itself, snapshot/restore of the
-// full per-node degradation state, and ingest/recompute metrics through
-// internal/obs.
+// deployable LNS-style daemon: HTTP(+JSON) uplink ingest sharded by
+// node-ID range (one private netserver.Server sub-fleet per worker
+// lane, bounded queues, explicit backpressure), fleet-wide w_u
+// recomputation at barriers on the virtual clock carried by the
+// traffic itself, snapshot/restore of the full per-node degradation
+// state, and ingest/recompute metrics through internal/obs.
 //
 // The package is a library so the daemon core is testable and
 // benchmarkable in-process; cmd/lnsd is the thin binary around it and
-// cmd/loadgen the replay client. The correctness contract is exactness:
-// a report stream driven through the HTTP path must leave the server in
-// a state byte-identical to direct library Ingest calls (ReplayBatch is
-// the single shared apply path), and a snapshot → restart → resume run
-// must match an uninterrupted one exactly.
+// cmd/loadgen the replay client. The correctness contract is
+// exactness: a report stream driven through the HTTP path must leave
+// the fleet in a state byte-identical to direct library Ingest calls
+// (ReplayBatch is the single shared apply path, and barrier recomputes
+// make the result a pure function of each node's sub-stream plus the
+// merged clock — independent of shard count and cross-shard
+// interleaving), and a snapshot → restart → resume run must match an
+// uninterrupted one exactly.
 package lns
 
 import (

@@ -46,6 +46,18 @@ type Server struct {
 	nextDue      simtime.Time
 	computed     bool
 
+	// The barrier-recompute discipline (the LNS daemon path) keeps a
+	// virtual clock — the newest uplink reception instant folded in via
+	// AdvanceClock — and recomputes only at grid instants derived from
+	// it, never mid-stream. clock is a running maximum over the instants
+	// seen, so it is independent of ingest order; degrAt is the grid
+	// instant of the latest RecomputeDegrAt (noneYet before the first);
+	// dirty marks tracker/fleet mutations since then, letting a repeated
+	// barrier at the same instant skip the O(nodes) degradation pass.
+	clock  simtime.Time
+	degrAt simtime.Time
+	dirty  bool
+
 	// Observability handles; nil (no-op) unless SetObserver installed
 	// them.
 	cPackets, cPacketsDup, cReports, cReportsStale, cRecomputes *obs.Counter
@@ -96,6 +108,8 @@ func New(model battery.Model, tempC float64, interval simtime.Duration) (*Server
 		model:    model,
 		tempC:    tempC,
 		interval: interval,
+		clock:    noneYet,
+		degrAt:   noneYet,
 	}, nil
 }
 
@@ -127,6 +141,7 @@ func (s *Server) Register(nodeID int, initialSoC float64) {
 		s.numNodes++
 	}
 	s.nodes[nodeID] = st
+	s.dirty = true
 }
 
 // state returns the node's state or nil when unregistered.
@@ -151,6 +166,7 @@ func (s *Server) Rejoin(nodeID int, currentSoC float64) {
 	}
 	s.cRejoins.Inc()
 	st.tracker.Push(currentSoC)
+	s.dirty = true
 }
 
 // NumNodes returns how many nodes are registered.
@@ -183,6 +199,7 @@ func (s *Server) Ingest(nodeID int, reports []battery.Report, packetAt simtime.T
 		return
 	}
 	s.cPackets.Inc()
+	s.dirty = true
 	st.lastPacketAt = packetAt
 	newest := st.lastReportAt
 	for _, r := range reports {
@@ -241,6 +258,92 @@ func (s *Server) recompute(now simtime.Time) {
 		st.wu = QuantizeWu(wu)
 	}
 	s.cRecomputes.Inc()
+	s.gDmax.Set(dmax)
+}
+
+// AdvanceClock folds an observed instant into the virtual clock as a
+// running maximum. Because max is commutative and associative, the
+// resulting clock depends only on the SET of instants seen — not their
+// order — which is the property that lets sharded daemons ingesting
+// arbitrary interleavings of the same traffic agree on recompute grid
+// slots.
+func (s *Server) AdvanceClock(at simtime.Time) {
+	if at > s.clock {
+		s.clock = at
+	}
+}
+
+// Clock returns the virtual clock (noneYet when no instant was folded).
+func (s *Server) Clock() simtime.Time { return s.clock }
+
+// GridInstant maps a virtual clock to the newest recompute-grid slot at
+// or before it. The grid is anchored at virtual time 0 in multiples of
+// the interval — a fixed property of the configuration, not of when the
+// first uplink happened to arrive — so every shard of a fleet derives
+// the same slot from the same clock with no coordination beyond the
+// clock itself. A clock of noneYet (no traffic) maps to slot 0.
+func GridInstant(clock simtime.Time, interval simtime.Duration) simtime.Time {
+	if clock <= 0 || interval <= 0 {
+		return 0
+	}
+	return clock - clock%simtime.Time(interval)
+}
+
+// GridInstant returns the server's current grid slot (see the free
+// function).
+func (s *Server) GridInstant() simtime.Time { return GridInstant(s.clock, s.interval) }
+
+// RecomputeDegrAt evaluates every node's degradation at the given grid
+// instant and returns the local maximum — the first half of a barrier
+// recompute, run per shard; the caller folds the returned maxima into
+// the fleet-wide D_max and feeds it back through ApplyWu. The O(nodes)
+// degradation pass is skipped when nothing changed since a recompute at
+// the same instant (the evaluation is a pure function of tracker state
+// and instant, so skipping cannot change any observable). Either way
+// the recompute grid bookkeeping (computed, firstCompute, nextDue) is
+// left exactly as a recompute at `now` establishes it.
+func (s *Server) RecomputeDegrAt(now simtime.Time) (dmax float64, ran bool) {
+	if s.dirty || !s.computed || s.degrAt != now {
+		if !s.computed {
+			s.firstCompute = now
+			s.computed = true
+		}
+		s.nextDue = now.Add(s.interval)
+		for _, st := range s.nodes {
+			if st == nil {
+				continue
+			}
+			st.degr = st.tracker.Degradation(simtime.Duration(now))
+		}
+		s.degrAt = now
+		s.dirty = false
+		s.cRecomputes.Inc()
+		ran = true
+	}
+	for _, st := range s.nodes {
+		if st == nil {
+			continue
+		}
+		dmax = math.Max(dmax, st.degr)
+	}
+	return dmax, ran
+}
+
+// ApplyWu disseminates the fleet-wide maximum degradation: every node's
+// w_u is requantized as degr/dmax — the second half of a barrier
+// recompute, run per shard after the coordinator merged the local
+// maxima from RecomputeDegrAt.
+func (s *Server) ApplyWu(dmax float64) {
+	for _, st := range s.nodes {
+		if st == nil {
+			continue
+		}
+		wu := 0.0
+		if dmax > 0 {
+			wu = st.degr / dmax
+		}
+		st.wu = QuantizeWu(wu)
+	}
 	s.gDmax.Set(dmax)
 }
 

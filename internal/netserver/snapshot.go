@@ -9,7 +9,8 @@ import (
 
 // SnapshotSchema identifies the snapshot layout; bump it when fields
 // change meaning so a daemon refuses to restore a foreign format.
-const SnapshotSchema = 1
+// Schema 2 added ClockMs (the barrier-recompute virtual clock).
+const SnapshotSchema = 2
 
 // NodeSnapshot is one node's serializable server-side state.
 type NodeSnapshot struct {
@@ -39,6 +40,9 @@ type Snapshot struct {
 	Computed       bool          `json:"computed"`
 	FirstComputeMs int64         `json:"first_compute_ms"`
 	NextDueMs      int64         `json:"next_due_ms"`
+	// ClockMs is the virtual clock of the barrier-recompute discipline
+	// (newest uplink instant folded in; -1 = no traffic yet).
+	ClockMs int64 `json:"clock_ms"`
 	// Nodes is ascending by ID; unregistered slots are absent.
 	Nodes []NodeSnapshot `json:"nodes"`
 }
@@ -55,6 +59,7 @@ func (s *Server) Snapshot() *Snapshot {
 		Computed:       s.computed,
 		FirstComputeMs: int64(s.firstCompute),
 		NextDueMs:      int64(s.nextDue),
+		ClockMs:        int64(s.clock),
 		Nodes:          make([]NodeSnapshot, 0, s.numNodes),
 	}
 	for id, st := range s.nodes {
@@ -89,6 +94,14 @@ func Restore(snap *Snapshot) (*Server, error) {
 	s.computed = snap.Computed
 	s.firstCompute = simtime.Time(snap.FirstComputeMs)
 	s.nextDue = simtime.Time(snap.NextDueMs)
+	s.clock = simtime.Time(snap.ClockMs)
+	// Under the barrier discipline every recompute sets
+	// nextDue = instant + interval, so the instant of the latest
+	// degradation evaluation is recoverable without its own field; the
+	// state was quiesced at snapshot time, so nothing is dirty.
+	if snap.Computed {
+		s.degrAt = s.nextDue - simtime.Time(s.interval)
+	}
 	prev := -1
 	for _, ns := range snap.Nodes {
 		if ns.ID <= prev {
@@ -109,6 +122,99 @@ func Restore(snap *Snapshot) (*Server, error) {
 		s.numNodes++
 	}
 	return s, nil
+}
+
+// MergeSnapshots folds per-shard snapshots (disjoint node sets, each
+// ascending by ID) into the single snapshot a 1-shard server holding
+// the union would produce. The global fields must agree across shards —
+// after a barrier recompute they do by construction (same grid slot,
+// same interval, same model) — except the virtual clock, which merges
+// as the maximum, mirroring how AdvanceClock folds instants. Shards
+// that disagree on a global field indicate a coordination bug and are
+// rejected rather than silently papered over.
+func MergeSnapshots(parts []*Snapshot) (*Snapshot, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("netserver: merge of zero snapshots")
+	}
+	total := 0
+	out := *parts[0]
+	for i, p := range parts {
+		if p.Schema != out.Schema || p.Model != out.Model || p.TempC != out.TempC ||
+			p.IntervalMs != out.IntervalMs || p.Computed != out.Computed ||
+			p.FirstComputeMs != out.FirstComputeMs || p.NextDueMs != out.NextDueMs {
+			return nil, fmt.Errorf("netserver: shard %d snapshot disagrees on global state", i)
+		}
+		if p.ClockMs > out.ClockMs {
+			out.ClockMs = p.ClockMs
+		}
+		total += len(p.Nodes)
+	}
+	out.Nodes = make([]NodeSnapshot, 0, total)
+	idx := make([]int, len(parts))
+	for len(out.Nodes) < total {
+		best := -1
+		for i, p := range parts {
+			if idx[i] >= len(p.Nodes) {
+				continue
+			}
+			if best == -1 || p.Nodes[idx[i]].ID < parts[best].Nodes[idx[best]].ID {
+				best = i
+			}
+		}
+		node := parts[best].Nodes[idx[best]]
+		if n := len(out.Nodes); n > 0 && out.Nodes[n-1].ID >= node.ID {
+			return nil, fmt.Errorf("netserver: shard snapshots overlap or misorder at node %d", node.ID)
+		}
+		out.Nodes = append(out.Nodes, node)
+		idx[best]++
+	}
+	return &out, nil
+}
+
+// SplitSnapshot partitions a snapshot into per-shard snapshots by the
+// given node→shard map, copying the global fields (including the clock:
+// it is a running maximum, so giving every shard the full value is
+// exact — a shard never observes an instant above the fleet clock).
+// It is the inverse of MergeSnapshots for any shardOf that routes each
+// node to one shard.
+func SplitSnapshot(snap *Snapshot, shards int, shardOf func(nodeID int) int) []*Snapshot {
+	parts := make([]*Snapshot, shards)
+	for i := range parts {
+		p := *snap
+		p.Nodes = nil
+		parts[i] = &p
+	}
+	for _, ns := range snap.Nodes {
+		i := shardOf(ns.ID)
+		parts[i].Nodes = append(parts[i].Nodes, ns)
+	}
+	return parts
+}
+
+// MergeWuTables folds per-shard w_u tables (disjoint, each ascending by
+// node ID) into one ascending table — the dissemination-path twin of
+// MergeSnapshots.
+func MergeWuTables(parts [][]NodeWu) []NodeWu {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]NodeWu, 0, total)
+	idx := make([]int, len(parts))
+	for len(out) < total {
+		best := -1
+		for i, p := range parts {
+			if idx[i] >= len(p) {
+				continue
+			}
+			if best == -1 || p[idx[i]].Node < parts[best][idx[best]].Node {
+				best = i
+			}
+		}
+		out = append(out, parts[best][idx[best]])
+		idx[best]++
+	}
+	return out
 }
 
 // NodeWu is one row of the disseminated w_u table.

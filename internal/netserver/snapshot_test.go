@@ -3,6 +3,7 @@ package netserver
 import (
 	"encoding/json"
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/battery"
@@ -227,6 +228,66 @@ func TestRestoreRejectsForeignSchema(t *testing.T) {
 	bad.Nodes = []NodeSnapshot{{ID: 3}, {ID: 3}}
 	if _, err := Restore(bad); err == nil {
 		t.Error("Restore accepted non-ascending node IDs")
+	}
+}
+
+// TestSnapshotSplitMergeRoundTrip: SplitSnapshot → MergeSnapshots must
+// reproduce the original snapshot byte-for-byte for any per-node shard
+// map — the property the sharded daemon's /v1/snapshot and /v1/restore
+// paths rest on. MergeWuTables gets the same treatment.
+func TestSnapshotSplitMergeRoundTrip(t *testing.T) {
+	s := buildBusyServer(t)
+	want, err := json.Marshal(s.Snapshot())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	for _, shards := range []int{1, 2, 3, 4, 8} {
+		shardOf := func(id int) int { return id % shards }
+		parts := SplitSnapshot(s.Snapshot(), shards, shardOf)
+		merged, err := MergeSnapshots(parts)
+		if err != nil {
+			t.Fatalf("shards=%d: MergeSnapshots: %v", shards, err)
+		}
+		got, err := json.Marshal(merged)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("shards=%d: split/merge not identity:\n%s\n%s", shards, got, want)
+		}
+
+		var wuParts [][]NodeWu
+		for _, p := range parts {
+			srv, err := Restore(p)
+			if err != nil {
+				t.Fatalf("shards=%d: Restore part: %v", shards, err)
+			}
+			wuParts = append(wuParts, srv.WuTable())
+		}
+		if gotWu, wantWu := MergeWuTables(wuParts), s.WuTable(); !reflect.DeepEqual(gotWu, wantWu) {
+			t.Fatalf("shards=%d: merged wu table %v, want %v", shards, gotWu, wantWu)
+		}
+	}
+}
+
+// TestMergeSnapshotsRejectsDisagreement: shards that drifted apart on
+// global state indicate a barrier bug and must be surfaced, not merged.
+func TestMergeSnapshotsRejectsDisagreement(t *testing.T) {
+	a := buildBusyServer(t).Snapshot()
+	b := buildBusyServer(t).Snapshot()
+	b.NextDueMs += 1
+	b.Nodes = nil
+	a.Nodes = a.Nodes[:1]
+	if _, err := MergeSnapshots([]*Snapshot{a, b}); err == nil {
+		t.Error("MergeSnapshots accepted disagreeing global state")
+	}
+	c := buildBusyServer(t).Snapshot()
+	d := buildBusyServer(t).Snapshot() // same node IDs → overlap
+	if _, err := MergeSnapshots([]*Snapshot{c, d}); err == nil {
+		t.Error("MergeSnapshots accepted overlapping node sets")
+	}
+	if _, err := MergeSnapshots(nil); err == nil {
+		t.Error("MergeSnapshots accepted an empty part list")
 	}
 }
 
