@@ -42,8 +42,14 @@ import (
 
 // Benchmark is one parsed benchmark result line.
 type Benchmark struct {
-	Name        string             `json:"name"`
-	CPUs        int                `json:"cpus"`
+	Name string `json:"name"`
+	CPUs int    `json:"cpus"`
+	// Gomaxprocs is the GOMAXPROCS the benchmark itself ran with — the
+	// -N name suffix, same value as CPUs. Recorded per entry (not just
+	// once per record) so a mixed file, or a record assembled from
+	// several runs, keeps the provenance of every scaling-sensitive
+	// number next to the number.
+	Gomaxprocs  int                `json:"gomaxprocs"`
 	Iterations  int64              `json:"iterations"`
 	NsPerOp     float64            `json:"ns_per_op,omitempty"`
 	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
@@ -149,6 +155,9 @@ func main() {
 		rec.LNSIngest = b.Metrics
 	}
 	rec.LNSShardScaling = buildShardScaling(rec.Benchmarks)
+	for _, w := range singleProcWarnings(&rec) {
+		fmt.Fprintln(os.Stderr, "benchjson: WARNING", w)
+	}
 
 	path := *out
 	if path == "" {
@@ -214,7 +223,7 @@ func parseLine(line string) (Benchmark, bool) {
 	if err != nil {
 		return Benchmark{}, false
 	}
-	b := Benchmark{Name: name, CPUs: cpus, Iterations: iters}
+	b := Benchmark{Name: name, CPUs: cpus, Gomaxprocs: cpus, Iterations: iters}
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
@@ -396,6 +405,28 @@ func buildShardScaling(bs []Benchmark) map[string]float64 {
 		scaling["speedup_s4_over_s1"] = s4 / s1
 	}
 	return scaling
+}
+
+// singleProcWarnings flags speedup-style record fields whose source
+// benchmarks ran at GOMAXPROCS=1: with one scheduler thread the shard
+// lanes and sweep workers serialize, so a ratio near 1.0 is a property
+// of the runner, not the code, and must not be read (or diffed) as a
+// scaling result.
+func singleProcWarnings(rec *Record) []string {
+	var warns []string
+	if rec.LNSShardScaling["speedup_s4_over_s1"] > 0 {
+		if b := find(rec.Benchmarks, "LNSIngestSharded/shards=4"); b != nil && b.Gomaxprocs <= 1 {
+			warns = append(warns, fmt.Sprintf(
+				"lns_shard_scaling speedup_s4_over_s1=%.2f was measured at GOMAXPROCS=1; the shard lanes serialized, so the ratio is not a scaling claim",
+				rec.LNSShardScaling["speedup_s4_over_s1"]))
+		}
+	}
+	if rec.SweepParallelSpeedup > 0 && rec.SweepParallelCPUs <= 1 {
+		warns = append(warns, fmt.Sprintf(
+			"sweep_parallel_speedup=%.2f was measured at GOMAXPROCS=1; the worker pool serialized, so the ratio is not a scaling claim",
+			rec.SweepParallelSpeedup))
+	}
+	return warns
 }
 
 func find(bs []Benchmark, name string) *Benchmark {

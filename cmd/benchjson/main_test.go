@@ -252,3 +252,37 @@ func TestBuildScaleLadderIncludesSimulatorYear(t *testing.T) {
 		t.Error("empty run should produce a nil ladder (omitted from JSON)")
 	}
 }
+
+func TestParseLineRecordsGomaxprocs(t *testing.T) {
+	b, ok := parseLine("BenchmarkLNSIngestSharded/shards=4-8   	 5	 2000 ns/op	 120000 ingest-msgs/s")
+	if !ok || b.Gomaxprocs != 8 {
+		t.Fatalf("gomaxprocs = %d, want 8", b.Gomaxprocs)
+	}
+	b, ok = parseLine("BenchmarkSimulatorDay   	 3	 95318105 ns/op")
+	if !ok || b.Gomaxprocs != 1 {
+		t.Fatalf("suffix-less gomaxprocs = %d, want 1", b.Gomaxprocs)
+	}
+}
+
+func TestSingleProcWarnings(t *testing.T) {
+	rec := &Record{
+		Benchmarks: []Benchmark{
+			{Name: "LNSIngestSharded/shards=1", CPUs: 1, Gomaxprocs: 1},
+			{Name: "LNSIngestSharded/shards=4", CPUs: 1, Gomaxprocs: 1},
+		},
+		LNSShardScaling:      map[string]float64{"shards=1": 100, "shards=4": 101, "speedup_s4_over_s1": 1.01},
+		SweepParallelSpeedup: 1.02,
+		SweepParallelCPUs:    1,
+	}
+	warns := singleProcWarnings(rec)
+	if len(warns) != 2 {
+		t.Fatalf("warnings = %v, want both speedup fields flagged", warns)
+	}
+
+	// Multi-proc runs carry real scaling information: no warning.
+	rec.Benchmarks[1].Gomaxprocs = 4
+	rec.SweepParallelCPUs = 4
+	if warns := singleProcWarnings(rec); len(warns) != 0 {
+		t.Fatalf("unexpected warnings on multi-proc run: %v", warns)
+	}
+}

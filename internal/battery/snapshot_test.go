@@ -139,3 +139,84 @@ func TestCounterSnapshotIsolated(t *testing.T) {
 		}
 	}
 }
+
+// TestTrackerSnapshotAfterSpanRuns extends the round-trip proof to
+// span-integrated histories: the SoC trace is produced by the collapsed
+// DischargeRun/ChargeRun primitives (the slot-level kernel's path), the
+// tracker is snapshotted mid-run, serialized, restored, and both sides
+// then continue through more spans. Every Damage query must stay
+// bit-identical — the counter state ExtendRun leaves behind (run length,
+// pending extremum, direction, stack) must survive persistence exactly.
+func TestTrackerSnapshotAfterSpanRuns(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewPCG(0x5ba7, uint64(trial)))
+		build := func() *Battery {
+			b, err := New(DefaultModel(), 300, 0.4, 25)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			return b
+		}
+		orig := build()
+		now := simtime.Time(simtime.Hour)
+
+		// spans drives one battery through alternating collapsed runs:
+		// a rising span via ChargeRun (armed by one real Charge, like
+		// the kernel) and a falling span via DischargeRun.
+		spans := func(b *Battery, phases int) {
+			at := now
+			for p := 0; p < phases; p++ {
+				if p%2 == 0 {
+					b.Charge(at, 0.5) // arm the rising run
+					at += simtime.Time(simtime.Minute)
+					k := 5 + rng.IntN(200)
+					stored := b.Stored()
+					for i := 0; i < k; i++ {
+						stored += 0.02
+					}
+					if _, ok := b.ChargeRun(stored, k); !ok {
+						t.Fatal("ChargeRun refused mid-test")
+					}
+					at += simtime.Time(int64(k) * int64(simtime.Minute))
+				} else {
+					k := 5 + rng.IntN(200)
+					b.DischargeRun(at, 0.03, k)
+					at += simtime.Time(int64(k) * int64(simtime.Minute))
+				}
+			}
+		}
+
+		phases := 2 + rng.IntN(6)
+		spans(orig, phases)
+
+		snap := orig.tracker.Snapshot()
+		data, err := json.Marshal(snap)
+		if err != nil {
+			t.Fatalf("trial %d: marshal: %v", trial, err)
+		}
+		var decoded TrackerSnapshot
+		if err := json.Unmarshal(data, &decoded); err != nil {
+			t.Fatalf("trial %d: unmarshal: %v", trial, err)
+		}
+		restored := RestoreTracker(DefaultModel(), 25, decoded)
+		if restored.Samples() != orig.tracker.Samples() {
+			t.Fatalf("trial %d: samples %d != %d", trial, restored.Samples(), orig.tracker.Samples())
+		}
+		age := simtime.Duration(now) + 30*simtime.Day
+		requireSameBreakdown(t, "after span runs", orig.tracker.Damage(age), restored.Damage(age))
+
+		// Continue both sides through the identical raw SoC stream (the
+		// restored tracker has no battery attached, so feed pushes).
+		for i := 0; i < 200; i++ {
+			v := rng.Float64()
+			orig.tracker.Push(v)
+			restored.Push(v)
+			if i%31 == 0 {
+				requireSameBreakdown(t, "span continuation",
+					orig.tracker.Damage(age+simtime.Duration(i)*simtime.Hour),
+					restored.Damage(age+simtime.Duration(i)*simtime.Hour))
+			}
+		}
+		requireSameBreakdown(t, "span final", orig.tracker.Damage(age+simtime.Day), restored.Damage(age+simtime.Day))
+	}
+}

@@ -125,6 +125,20 @@ func mergeSummaries(parts []*runSummary) *runSummary {
 		return parts[0]
 	}
 	m := &runSummary{label: parts[0].label}
+	// Pre-size the pooled distributions: replicate node counts are known,
+	// so the concatenation never regrows.
+	var total int
+	for _, p := range parts {
+		total += len(p.prr)
+	}
+	m.prr = make([]float64, 0, total)
+	m.attempts = make([]float64, 0, total)
+	m.utility = make([]float64, 0, total)
+	m.latencyS = make([]float64, 0, total)
+	m.latPenS = make([]float64, 0, total)
+	m.degs = make([]float64, 0, total)
+	m.cycles = make([]float64, 0, total)
+	m.majorityWn = make([]int, 0, total)
 	for _, p := range parts {
 		m.prr = append(m.prr, p.prr...)
 		m.attempts = append(m.attempts, p.attempts...)

@@ -48,6 +48,21 @@ type runSummary struct {
 
 func summarize(res *sim.Result) *runSummary {
 	s := &runSummary{label: res.Label, elapsedD: res.Elapsed.Days()}
+	// One slab backs the seven per-node metric slices: every slice gets
+	// exactly one value per node, so carving them at full capacity up
+	// front replaces seven append-growth chains per replicate with one
+	// allocation (each segment's capacity is pinned, so appends can
+	// never bleed into a neighbour).
+	n := len(res.Nodes)
+	slab := make([]float64, 7*n)
+	s.prr = slab[0*n : 0*n : 1*n]
+	s.attempts = slab[1*n : 1*n : 2*n]
+	s.utility = slab[2*n : 2*n : 3*n]
+	s.latencyS = slab[3*n : 3*n : 4*n]
+	s.latPenS = slab[4*n : 4*n : 5*n]
+	s.degs = slab[5*n : 5*n : 6*n]
+	s.cycles = slab[6*n : 6*n : 7*n]
+	s.majorityWn = make([]int, 0, n)
 	for _, n := range res.Nodes {
 		s.prr = append(s.prr, n.Stats.PRR())
 		s.attempts = append(s.attempts, n.Stats.AvgAttempts())

@@ -15,6 +15,7 @@ package netserver
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/battery"
 	"repro/internal/obs"
@@ -25,9 +26,16 @@ import (
 // simulation time starts at 0, so any real instant exceeds it.
 const noneYet = simtime.Time(-1)
 
-// Server is the network-server state. It is not safe for concurrent use;
-// the simulator serializes access, and the testbed runtime guards it
-// with its gateway goroutine.
+// Server is the network-server state. It is not safe for general
+// concurrent use — the testbed runtime guards it with its gateway
+// goroutine, and the LNS daemon gives each shard a private Server —
+// with one carve-out the sharded simulator relies on: Ingest/Rejoin
+// calls for *distinct* nodes may run concurrently. Per-node state is
+// only ever touched by the lane owning that node, the tally counters
+// are atomic, and the shared dirty flag is an atomic.Bool, so
+// disjoint-node ingestion from parallel engine lanes is race-free.
+// Everything else (Register, recomputes, w_u reads) stays serialized
+// by the callers.
 type Server struct {
 	model    battery.Model
 	tempC    float64
@@ -54,9 +62,11 @@ type Server struct {
 	// instant of the latest RecomputeDegrAt (noneYet before the first);
 	// dirty marks tracker/fleet mutations since then, letting a repeated
 	// barrier at the same instant skip the O(nodes) degradation pass.
+	// Atomic: parallel engine lanes ingest disjoint nodes concurrently
+	// and all set it (see the type comment).
 	clock  simtime.Time
 	degrAt simtime.Time
-	dirty  bool
+	dirty  atomic.Bool
 
 	// Observability handles; nil (no-op) unless SetObserver installed
 	// them.
@@ -141,7 +151,7 @@ func (s *Server) Register(nodeID int, initialSoC float64) {
 		s.numNodes++
 	}
 	s.nodes[nodeID] = st
-	s.dirty = true
+	s.dirty.Store(true)
 }
 
 // state returns the node's state or nil when unregistered.
@@ -166,7 +176,7 @@ func (s *Server) Rejoin(nodeID int, currentSoC float64) {
 	}
 	s.cRejoins.Inc()
 	st.tracker.Push(currentSoC)
-	s.dirty = true
+	s.dirty.Store(true)
 }
 
 // NumNodes returns how many nodes are registered.
@@ -199,7 +209,7 @@ func (s *Server) Ingest(nodeID int, reports []battery.Report, packetAt simtime.T
 		return
 	}
 	s.cPackets.Inc()
-	s.dirty = true
+	s.dirty.Store(true)
 	st.lastPacketAt = packetAt
 	newest := st.lastReportAt
 	for _, r := range reports {
@@ -303,7 +313,7 @@ func (s *Server) GridInstant() simtime.Time { return GridInstant(s.clock, s.inte
 // the recompute grid bookkeeping (computed, firstCompute, nextDue) is
 // left exactly as a recompute at `now` establishes it.
 func (s *Server) RecomputeDegrAt(now simtime.Time) (dmax float64, ran bool) {
-	if s.dirty || !s.computed || s.degrAt != now {
+	if s.dirty.Load() || !s.computed || s.degrAt != now {
 		if !s.computed {
 			s.firstCompute = now
 			s.computed = true
@@ -316,7 +326,7 @@ func (s *Server) RecomputeDegrAt(now simtime.Time) (dmax float64, ran bool) {
 			st.degr = st.tracker.Degradation(simtime.Duration(now))
 		}
 		s.degrAt = now
-		s.dirty = false
+		s.dirty.Store(false)
 		s.cRecomputes.Inc()
 		ran = true
 	}

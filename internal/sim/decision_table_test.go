@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/mac"
+	"repro/internal/obs"
+	"repro/internal/simtime"
+)
+
+// TestDecisionTableMatchesDirectPath pins the MAC's per-day decision
+// table bit-for-bit against the always-recompute path: the same faulted
+// scenarios as the SoA kernel oracle, run with the table enabled
+// (default) and disabled (the -no-decision-table escape hatch), must
+// produce identical Results and byte-identical obs exports at multiple
+// shard counts. Longer seeds give the estimator time to converge so the
+// table actually serves hits, not just rebuilds; WuTTL cycles the
+// stale-w_u phase the validity certificate tracks.
+func TestDecisionTableMatchesDirectPath(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	var totalHits int64
+	for seed := uint64(0); seed < uint64(seeds); seed++ {
+		cfg := soaOracleScenario(seed)
+		cfg.Faults.WuTTL = []simtime.Duration{0, 6 * simtime.Hour, simtime.Day}[seed%3]
+		if seed%4 == 0 {
+			// A longer, smaller run: estimator EWMAs converge to stable
+			// bits after a few days, which is when table hits dominate.
+			cfg.Nodes = 8
+			cfg.Duration = 8 * simtime.Day
+		}
+		man := obs.Manifest{Experiment: "decision-table-oracle", Seed: seed, Nodes: cfg.Nodes}
+
+		run := func(disable bool, shards int) (*Simulation, *Result, []byte) {
+			c := cfg
+			c.DisableDecisionTable = disable
+			rec := obs.New(man, 30*simtime.Minute)
+			s, res := runOpt(t, c, rec, RunOptions{Shards: shards, Workers: 2})
+			return s, res, obsBytes(t, rec)
+		}
+
+		_, refRes, refObs := run(true, 1)
+		for _, c := range []struct {
+			name    string
+			disable bool
+			shards  int
+		}{
+			{"table/1shard", false, 1},
+			{"table/4shards", false, 4},
+			{"notable/4shards", true, 4},
+		} {
+			s, res, out := run(c.disable, c.shards)
+			if !reflect.DeepEqual(refRes, res) {
+				t.Errorf("seed %d %s: result differs from no-table single-shard run", seed, c.name)
+			}
+			if !bytes.Equal(refObs, out) {
+				t.Errorf("seed %d %s: obs export differs from no-table single-shard run", seed, c.name)
+			}
+			for _, n := range s.nodes {
+				if bla, ok := n.Proto.(*mac.BLA); ok {
+					hits := bla.TableHits()
+					if c.disable && hits != 0 {
+						t.Errorf("seed %d %s: escape hatch served %d table hits", seed, c.name, hits)
+					}
+					totalHits += hits
+				}
+			}
+		}
+		if t.Failed() {
+			t.Fatalf("seed %d: decision-table divergence; stopping at first failing seed", seed)
+		}
+	}
+	// The oracle proves nothing if the table never fires: require that
+	// at least one scenario actually served cached verdicts.
+	if totalHits == 0 {
+		t.Fatal("decision table served zero hits across all oracle scenarios")
+	}
+	t.Logf("decision table served %d hits across %d seeds", totalHits, seeds)
+}

@@ -72,6 +72,11 @@ type Engine struct {
 	// (slot = minute & engineRingMask); nil until the first staged
 	// event, so trivial engines never pay for it.
 	ring [][]entry
+	// ringSlab is the carve source for new buckets' initial capacity:
+	// chunks are allocated on demand and sliced off per first-touched
+	// bucket, so an engine pays for staging capacity proportional to the
+	// minutes it actually stages into, not the whole ring span.
+	ringSlab []entry
 	// ringMin is the smallest minute index whose bucket may still hold
 	// entries: buckets below it have been flushed, so late arrivals for
 	// those minutes go straight to the heap.
@@ -128,23 +133,32 @@ func (e *Engine) ScheduleEvent(at simtime.Time, ev Event) {
 // engineRingBucketCap is the initial per-bucket capacity carved from the
 // ring's backing slab. Staged wakes spread over the ring's minutes, so
 // most buckets hold a handful of entries; buckets that outgrow their
-// slab chunk fall back to ordinary append growth.
-const engineRingBucketCap = 64
+// slab chunk fall back to ordinary append growth. engineRingChunkBuckets
+// is how many buckets' worth of capacity one slab chunk provides: small
+// engines (few staged minutes) allocate one ~32 KB chunk instead of the
+// full 2048-bucket slab (~4 MB), while a fully exercised ring still
+// settles at the same steady state in ~128 allocations, once, total.
+const (
+	engineRingBucketCap    = 64
+	engineRingChunkBuckets = 16
+)
 
 // ringPush stages an entry in its minute bucket.
 func (e *Engine) ringPush(m int64, en entry) {
 	if e.ring == nil {
-		// One slab backs every bucket's initial capacity: growing 2048
-		// buckets individually from zero would cost thousands of
-		// allocations per engine lifetime for the same steady state.
 		e.ring = make([][]entry, engineRingMinutes)
-		slab := make([]entry, engineRingMinutes*engineRingBucketCap)
-		for i := range e.ring {
-			lo := i * engineRingBucketCap
-			e.ring[i] = slab[lo:lo : lo+engineRingBucketCap]
-		}
 	}
 	slot := m & engineRingMask
+	if e.ring[slot] == nil {
+		// First touch of this slot: carve its initial capacity from the
+		// current slab chunk (flushed buckets keep their capacity via
+		// b[:0], so each slot carves at most once).
+		if len(e.ringSlab) == 0 {
+			e.ringSlab = make([]entry, engineRingChunkBuckets*engineRingBucketCap)
+		}
+		e.ring[slot] = e.ringSlab[0:0:engineRingBucketCap]
+		e.ringSlab = e.ringSlab[engineRingBucketCap:]
+	}
 	e.ring[slot] = append(e.ring[slot], en)
 	if e.ringCount == 0 || m < e.ringNext {
 		e.ringNext = m

@@ -376,3 +376,99 @@ func TestEngineRingStagingMatchesReferenceHeap(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// ringTestMinute converts a minute index to an engine timestamp.
+func ringTestMinute(m int64) simtime.Time {
+	return simtime.Time(m) * simtime.Time(simtime.Minute)
+}
+
+// TestEngineRingFarHorizonBoundary pins the staging cutoff exactly:
+// from a fresh engine at time zero, minute engineRingMinutes-1 is the
+// last stageable minute and minute engineRingMinutes — exactly the ring
+// span — must fall back to the heap, as must everything farther. Both
+// routes still fire in strict timestamp order.
+func TestEngineRingFarHorizonBoundary(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	// Scheduled out of order on purpose: the heap-fallback events first.
+	e.Schedule(ringTestMinute(engineRingMinutes), func() { got = append(got, 2) })
+	e.Schedule(ringTestMinute(engineRingMinutes+1), func() { got = append(got, 3) })
+	e.Schedule(ringTestMinute(engineRingMinutes-1), func() { got = append(got, 1) })
+	// Sub-minute offsets of the boundary minutes route the same way.
+	e.Schedule(ringTestMinute(engineRingMinutes)-1, func() { got = append(got, 4) }) // last ns of minute 2047
+	if e.ringCount != 2 {
+		t.Fatalf("ringCount = %d, want 2 (only in-horizon events staged)", e.ringCount)
+	}
+	if len(e.pq) != 2 {
+		t.Fatalf("heap depth = %d, want 2 (the at/past-horizon events)", len(e.pq))
+	}
+	e.Run(ringTestMinute(engineRingMinutes + 2))
+	want := []int{1, 4, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("%d events left pending", e.Pending())
+	}
+}
+
+// TestEngineRingWraparoundAcrossHalt drives a periodic event chain
+// through several full ring spans — every slot is flushed and restaged
+// as the frontier wraps — with a mid-run Stop while future events are
+// still staged, the way a network-wide EoL halt freezes the clock. The
+// resumed run must deliver every remaining event exactly once, in
+// order, including ticks whose minute maps to a ring slot already used
+// in an earlier wrap.
+func TestEngineRingWraparoundAcrossHalt(t *testing.T) {
+	e := NewEngine()
+	var fired []int64
+	const step = 512 // four ticks per ring span; slots repeat every span
+	const lastTick = 5 * engineRingMinutes
+	var schedule func(min int64)
+	schedule = func(min int64) {
+		e.Schedule(ringTestMinute(min), func() {
+			fired = append(fired, min)
+			if next := min + step; next <= lastTick {
+				schedule(next)
+			}
+		})
+	}
+	schedule(step)
+	// The EoL-style halt tick: Stop fires mid-span, between periodic
+	// ticks, with the rest of the chain still staged in the ring.
+	haltMin := int64(2*engineRingMinutes + step/2)
+	e.Schedule(ringTestMinute(haltMin), func() { e.Stop() })
+
+	horizon := ringTestMinute(lastTick + 1)
+	e.Run(horizon)
+	if e.Now() != ringTestMinute(haltMin) {
+		t.Fatalf("halted at %v, want the halt tick %v", e.Now(), ringTestMinute(haltMin))
+	}
+	if e.Pending() == 0 {
+		t.Fatal("halt left nothing staged; the scenario under-builds the ring")
+	}
+	firedAtHalt := len(fired)
+
+	e.Run(horizon) // resume: Run clears the stop flag
+	if e.Pending() != 0 {
+		t.Fatalf("%d events still pending after resume", e.Pending())
+	}
+	var wantTick int64 = step
+	for i, m := range fired {
+		if m != wantTick {
+			t.Fatalf("tick %d fired at minute %d, want %d", i, m, wantTick)
+		}
+		wantTick += step
+	}
+	if last := fired[len(fired)-1]; last != lastTick {
+		t.Fatalf("last tick at minute %d, want %d", last, lastTick)
+	}
+	if firedAtHalt >= len(fired) {
+		t.Fatal("resume fired no additional ticks")
+	}
+}
